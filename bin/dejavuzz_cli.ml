@@ -1,0 +1,209 @@
+(* Command-line driver: run fuzzing campaigns and regenerate each of the
+   paper's evaluation tables and figures individually. *)
+
+open Cmdliner
+module Cfg = Dvz_uarch.Config
+module Campaign = Dejavuzz.Campaign
+module E = Dvz_experiments
+
+let core_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "boom" -> Ok Cfg.boom_small
+    | "xiangshan" | "xs" -> Ok Cfg.xiangshan_minimal
+    | _ -> Error (`Msg "core must be 'boom' or 'xiangshan'")
+  in
+  let print fmt cfg = Format.pp_print_string fmt cfg.Cfg.name in
+  Arg.conv (parse, print)
+
+let core_t =
+  Arg.(value & opt core_arg Cfg.boom_small
+       & info [ "core" ] ~docv:"CORE" ~doc:"Target core: boom or xiangshan.")
+
+let iterations_t default =
+  Arg.(value & opt int default
+       & info [ "iterations"; "n" ] ~docv:"N" ~doc:"Number of iterations.")
+
+let seed_t =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for reproducible runs.")
+
+let fuzz_cmd =
+  let run cfg iterations rng_seed random_training no_coverage =
+    let options =
+      { Campaign.default_options with
+        Campaign.iterations; rng_seed;
+        style = (if random_training then `Random else `Derived);
+        coverage_guided = not no_coverage }
+    in
+    let stats = Campaign.run cfg options in
+    print_string (Dejavuzz.Report.summary stats);
+    print_string
+      (Dejavuzz.Report.table5 ~core_name:cfg.Cfg.name
+         stats.Campaign.s_findings)
+  in
+  let random_training =
+    Arg.(value & flag
+         & info [ "random-training" ]
+             ~doc:"DejaVuzz* ablation: random training packets.")
+  in
+  let no_coverage =
+    Arg.(value & flag
+         & info [ "no-coverage" ]
+             ~doc:"DejaVuzz- ablation: disable taint-coverage feedback.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run a DejaVuzz fuzzing campaign.")
+    Term.(const run $ core_t $ iterations_t 500 $ seed_t $ random_training
+          $ no_coverage)
+
+let table2_cmd =
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Print the cores-under-evaluation summary.")
+    Term.(const (fun () -> print_string (E.Table2.render ())) $ const ())
+
+let table3_cmd =
+  let run samples rng_seed =
+    print_string (E.Table3.render (E.Table3.run ~samples ~rng_seed ()))
+  in
+  let samples =
+    Arg.(value & opt int 40
+         & info [ "samples" ] ~docv:"N" ~doc:"Windows sampled per cell.")
+  in
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Training overhead per transient-window type.")
+    Term.(const run $ samples $ seed_t)
+
+let table4_cmd =
+  let run reps =
+    let results =
+      [ E.Table4.run ~reps Cfg.boom_small;
+        E.Table4.run ~reps Cfg.xiangshan_minimal ]
+    in
+    print_string (E.Table4.render results)
+  in
+  let reps =
+    Arg.(value & opt int 30
+         & info [ "reps" ] ~docv:"N" ~doc:"Simulation repetitions per cell.")
+  in
+  Cmd.v
+    (Cmd.info "table4" ~doc:"Instrumentation and simulation overhead of diffIFT.")
+    Term.(const run $ reps)
+
+let table5_cmd =
+  let run iterations rng_seed =
+    let results =
+      [ E.Table5.run ~iterations ~rng_seed Cfg.boom_small;
+        E.Table5.run ~iterations ~rng_seed Cfg.xiangshan_minimal ]
+    in
+    print_string (E.Table5.render results)
+  in
+  Cmd.v
+    (Cmd.info "table5" ~doc:"Discovered transient execution bug classes.")
+    Term.(const run $ iterations_t 1200 $ seed_t)
+
+let fig6_cmd =
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Taint population over time per attack test case.")
+    Term.(const (fun () -> print_string (E.Fig6.render (E.Fig6.run ())))
+          $ const ())
+
+let fig7_cmd =
+  let run cfg iterations trials rng_seed =
+    print_string
+      (E.Fig7.render (E.Fig7.run ~iterations ~trials ~rng_seed cfg))
+  in
+  let trials =
+    Arg.(value & opt int 5
+         & info [ "trials" ] ~docv:"N" ~doc:"Repetitions per fuzzer.")
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Coverage growth: DejaVuzz vs DejaVuzz- vs SpecDoctor.")
+    Term.(const run $ core_t $ iterations_t 1000 $ trials $ seed_t)
+
+let attack_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "spectre-v1" | "v1" -> Ok E.Attacks.Spectre_v1
+    | "spectre-v2" | "v2" -> Ok E.Attacks.Spectre_v2
+    | "meltdown" -> Ok E.Attacks.Meltdown
+    | "spectre-v4" | "v4" -> Ok E.Attacks.Spectre_v4
+    | "spectre-rsb" | "rsb" -> Ok E.Attacks.Spectre_rsb
+    | _ -> Error (`Msg "attack: v1|v2|meltdown|v4|rsb")
+  in
+  let print fmt a = Format.pp_print_string fmt (E.Attacks.to_string a) in
+  Arg.conv (parse, print)
+
+let trace_cmd =
+  let run cfg attack =
+    let tc = E.Attacks.build cfg attack in
+    let stim = Dejavuzz.Packet.stimulus ~secret:E.Attacks.secret tc in
+    let dc = Dvz_uarch.Dualcore.create cfg stim in
+    let result = Dvz_uarch.Dualcore.run dc in
+    print_string (Dvz_uarch.Trace.render_result result)
+  in
+  let attack =
+    Arg.(value & opt attack_arg E.Attacks.Meltdown
+         & info [ "attack" ] ~docv:"NAME"
+             ~doc:"Attack test case: v1, v2, meltdown, v4 or rsb.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run one curated attack and print the dual-DUT report.")
+    Term.(const run $ core_t $ attack)
+
+let migrate_cmd =
+  let run cfg rng_seed =
+    let rng = Dvz_util.Rng.create rng_seed in
+    let seed = Dejavuzz.Seed.random rng in
+    let tc = Dejavuzz.Trigger_gen.generate cfg seed in
+    if not (Dejavuzz.Trigger_opt.evaluate cfg tc) then
+      print_endline "seed does not trigger; try another --seed"
+    else begin
+      let tc, _ = Dejavuzz.Trigger_opt.reduce cfg tc in
+      let layout = Dejavuzz.Migrate.migrate tc in
+      print_string (Dejavuzz.Migrate.render_assembly layout);
+      let secret = Array.make Dvz_soc.Layout.secret_dwords 0x42 in
+      Printf.printf "# migrated window still triggers: %b
+"
+        (Dejavuzz.Migrate.runs_on_flat_memory cfg ~secret tc)
+    end
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:"Stitch a generated stimulus onto a flat memory model (section 7).")
+    Term.(const run $ core_t $ seed_t)
+
+let ablation_cmd =
+  let run iterations rng_seed =
+    print_string
+      (E.Ablation.render
+         (E.Ablation.run ~iterations ~rng_seed Cfg.boom_small))
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Compare diffIFT against CellIFT as the fuzzing substrate.")
+    Term.(const run $ iterations_t 400 $ seed_t)
+
+let bugs_cmd =
+  Cmd.v
+    (Cmd.info "bugs" ~doc:"Reproduce the B1-B5 CVE proof-of-concepts (section 6.4).")
+    Term.(const (fun () -> print_string (E.Bugcheck.render ())) $ const ())
+
+let liveness_cmd =
+  let run iterations rng_seed =
+    print_string
+      (E.Liveness_eval.render
+         (E.Liveness_eval.run ~iterations ~rng_seed Cfg.boom_small))
+  in
+  Cmd.v
+    (Cmd.info "liveness"
+       ~doc:"Replay SpecDoctor candidates through the liveness oracle.")
+    Term.(const run $ iterations_t 150 $ seed_t)
+
+let main =
+  let doc = "DejaVuzz: transient-execution bug fuzzing (OCaml reproduction)" in
+  Cmd.group (Cmd.info "dejavuzz" ~doc)
+    [ fuzz_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd; fig6_cmd;
+      fig7_cmd; liveness_cmd; trace_cmd; migrate_cmd; bugs_cmd; ablation_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,73 @@
+(* Hand-written stimulus through the assembly text front-end.
+
+   A Spectre-V1-style victim written in assembly, assembled into a swapMem
+   packet pair (one training sequence, one transient sequence) and run on
+   the dual-DUT diffIFT testbench.  The bounds check reads a limit the
+   attacker controls; training teaches the branch predictor the in-bounds
+   direction, then the transient run passes an out-of-bounds index whose
+   speculative load reaches the secret and encodes it into the cache.
+
+   Run with: dune exec examples/custom_stimulus.exe *)
+
+module Cfg = Dvz_uarch.Config
+module Core = Dvz_uarch.Core
+module Dualcore = Dvz_uarch.Dualcore
+module Layout = Dvz_soc.Layout
+
+(* The victim: if (index < limit) leak(array[index]).
+   Register protocol: t0 = index, t1 = limit, a3 = probe array base. *)
+let victim ~index =
+  Printf.sprintf
+    {|
+    addi  t0, zero, %d        # index (attacker controlled)
+    addi  t1, zero, 8         # limit
+    lui   s1, 0x5             # s1 = 0x5000: "array" base (the secret page!)
+    lui   a3, 0x6             # probe array
+    bgeu  t0, t1, done        # bounds check
+    slli  t2, t0, 3
+    add   t2, t2, s1
+    ld    s0, 0(t2)           # array[index] -- speculatively out of bounds
+    andi  t3, s0, 1
+    slli  t3, t3, 6
+    add   t3, t3, a3
+    ld    t4, 0(t3)           # encode into the cache
+done:
+    ebreak
+|}
+    index
+
+let blob name ~is_transient src =
+  let words, _ = Dvz_isa.Asm_parser.assemble_string ~base:Layout.swap_base src in
+  { Dvz_soc.Swapmem.name; words; is_transient }
+
+let () =
+  let cfg = Cfg.boom_small in
+  (* Training runs with in-bounds indices (branch untaken: falls through to
+     the load); the transient run passes index 9 (out of bounds: the check
+     should skip the load, but the trained predictor says otherwise). *)
+  let blobs =
+    [ blob "train0" ~is_transient:false (victim ~index:2);
+      blob "train1" ~is_transient:false (victim ~index:5);
+      blob "attack" ~is_transient:true (victim ~index:9) ]
+  in
+  let stim =
+    { Core.st_swapmem = Dvz_soc.Swapmem.create ~blobs ~schedule:[ 0; 1; 2 ];
+      st_tighten_secret = true;  (* the secret page goes machine-only before
+                                    the attack sequence *)
+      st_secret = Array.make Layout.secret_dwords 0x5EC;
+      st_data = []; st_perms = []; st_max_slots = 2000 }
+  in
+  let dc = Dualcore.create cfg stim in
+  let result = Dualcore.run dc in
+  print_string (Dvz_uarch.Trace.render_result result);
+  let attack_windows =
+    List.filter
+      (fun w -> w.Core.wr_in_transient_blob && w.Core.wr_secret_accessed)
+      result.Dualcore.r_windows_a
+  in
+  Printf.printf
+    "\nSpectre-V1: %d transient window(s) reached the protected array%s\n"
+    (List.length attack_windows)
+    (if List.exists (fun w -> w.Core.wr_secret_fault) attack_windows then
+       " across the privilege boundary"
+     else "")

@@ -1,0 +1,64 @@
+(* Hunting Meltdown-class bugs on XiangShan, including B1
+   (MeltDown-Sampling, CVE-2024-44594): the load unit's inconsistent wire
+   widths truncate out-of-range addresses, sampling the aliased physical
+   location without a permission check.
+
+   The campaign is restricted to exception-window seeds with the MDS-style
+   high-bit address mask enabled often, which is where B1 lives.
+
+   Run with: dune exec examples/meltdown_hunt.exe *)
+
+module Cfg = Dvz_uarch.Config
+module Seed = Dejavuzz.Seed
+module Campaign = Dejavuzz.Campaign
+module Rng = Dvz_util.Rng
+
+let () =
+  let cfg = Cfg.xiangshan_minimal in
+  let rng = Rng.create 2024 in
+  let secret = Array.make Dvz_soc.Layout.secret_dwords 0xD00D in
+  let coverage = Dejavuzz.Coverage.create () in
+  let found = Hashtbl.create 16 in
+  let iterations = 300 in
+  let b1_hits = ref 0 in
+  for it = 0 to iterations - 1 do
+    let kind =
+      Rng.choose rng
+        [| Seed.T_access_fault; Seed.T_page_fault; Seed.T_misalign;
+           Seed.T_illegal |]
+    in
+    let seed =
+      { (Seed.random_of_kind rng kind) with
+        Seed.mask_high = Rng.chance rng 0.5; tighten = true }
+    in
+    let tc = Dejavuzz.Trigger_gen.generate cfg seed in
+    if Dejavuzz.Trigger_opt.evaluate cfg tc then begin
+      let tc, _ = Dejavuzz.Trigger_opt.reduce cfg tc in
+      let tc = Dejavuzz.Window_gen.complete cfg tc in
+      let analysis = Dejavuzz.Oracle.analyze cfg ~secret tc in
+      ignore
+        (Dejavuzz.Coverage.observe_result coverage
+           analysis.Dejavuzz.Oracle.a_result);
+      match analysis.Dejavuzz.Oracle.a_attack with
+      | Some `Meltdown when Dejavuzz.Oracle.is_leak analysis ->
+          if seed.Seed.mask_high then incr b1_hits;
+          let key =
+            Printf.sprintf "%s/%b" (Seed.kind_name kind) seed.Seed.mask_high
+          in
+          if not (Hashtbl.mem found key) then begin
+            Hashtbl.replace found key it;
+            Printf.printf
+              "[iter %3d] Meltdown leak via %-22s %s\n" it
+              (Seed.kind_name kind)
+              (if seed.Seed.mask_high then
+                 "through a truncated out-of-range address (B1 sampling)"
+               else "through the faulting access itself")
+          end
+      | _ -> ()
+    end
+  done;
+  Printf.printf
+    "\n%d iterations: %d distinct Meltdown leak shapes, %d B1-style \
+     (masked-address) samples, coverage=%d\n"
+    iterations (Hashtbl.length found) !b1_hits
+    (Dejavuzz.Coverage.points coverage)

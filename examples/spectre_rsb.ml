@@ -1,0 +1,57 @@
+(* The paper's running example (Figures 4 and 5): triggering Spectre-RSB
+   through dynamic swappable memory.
+
+   A training packet places a call so that the pushed return address equals
+   the transient-window start; the transient packet then returns to a
+   different (architectural) address, so the RAS prediction speculatively
+   executes the window.  On BOOM the squash restores only the top RAS entry
+   (bug B2), so transient RAS overwrites below the TOS survive.
+
+   Run with: dune exec examples/spectre_rsb.exe *)
+
+module Cfg = Dvz_uarch.Config
+module Core = Dvz_uarch.Core
+module Dualcore = Dvz_uarch.Dualcore
+module Packet = Dejavuzz.Packet
+module Attacks = Dvz_experiments.Attacks
+
+let show_packet (p : Packet.t) =
+  Printf.printf "  packet %-18s (%d instructions)\n" p.Packet.name
+    (List.length p.Packet.insns)
+
+let run_on cfg =
+  Printf.printf "=== %s ===\n" cfg.Cfg.name;
+  let tc = Attacks.build cfg Attacks.Spectre_rsb in
+  Printf.printf "swap schedule:\n";
+  List.iter show_packet tc.Packet.window_trainings;
+  List.iter show_packet tc.Packet.trigger_trainings;
+  show_packet tc.Packet.transient;
+  let insns = Array.of_list tc.Packet.transient.Packet.insns in
+  let toff = (tc.Packet.trigger_addr - Dvz_soc.Layout.swap_base) / 4 in
+  Printf.printf "transient packet around the trigger:\n";
+  for i = toff to min (Array.length insns - 1) (toff + 6) do
+    Printf.printf "  0x%x: %s\n"
+      (Dvz_soc.Layout.swap_base + (4 * i))
+      (Dvz_isa.Insn.to_string insns.(i))
+  done;
+  let stim = Packet.stimulus ~secret:Attacks.secret tc in
+  let dc = Dualcore.create cfg stim in
+  let result = Dualcore.run dc in
+  List.iter
+    (fun w ->
+      if w.Core.wr_in_transient_blob then
+        Printf.printf
+          "window: %s at 0x%x, %d transient instructions, %d cycles, \
+           secret accessed: %b\n"
+          (Dvz_uarch.Effect.window_kind_name w.Core.wr_kind)
+          w.Core.wr_trigger_pc w.Core.wr_enqueued w.Core.wr_cycles
+          w.Core.wr_secret_accessed)
+    result.Dualcore.r_windows_a;
+  Printf.printf "live tainted sinks: %s\n\n"
+    (match result.Dualcore.r_live_tainted with
+    | [] -> "(none)"
+    | l -> String.concat " " (List.map Dvz_uarch.Elem.to_string l))
+
+let () =
+  run_on Cfg.boom_small;
+  run_on Cfg.xiangshan_minimal

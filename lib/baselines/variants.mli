@@ -1,0 +1,15 @@
+(** The paper's DejaVuzz ablation variants (§6.2, §6.3):
+
+    - DejaVuzz* keeps swapMem but replaces training derivation with random
+      training packets (no alignment, no control-flow matching);
+    - DejaVuzz⁻ keeps everything but taint-coverage feedback, mutating the
+      window section blindly. *)
+
+val star_options : iterations:int -> rng_seed:int -> Dejavuzz.Campaign.options
+(** DejaVuzz*. *)
+
+val minus_options : iterations:int -> rng_seed:int -> Dejavuzz.Campaign.options
+(** DejaVuzz⁻. *)
+
+val full_options : iterations:int -> rng_seed:int -> Dejavuzz.Campaign.options
+(** Unablated DejaVuzz, for symmetric bench code. *)

@@ -1,0 +1,127 @@
+module Rng = Dvz_util.Rng
+
+type finding = {
+  fd_attack : [ `Meltdown | `Spectre ];
+  fd_window : Seed.trigger_kind;
+  fd_components : Oracle.component list;
+  fd_kind : [ `Timing | `Encode ];
+  fd_iteration : int;
+}
+
+type options = {
+  iterations : int;
+  coverage_guided : bool;
+  style : [ `Derived | `Random ];
+  rng_seed : int;
+  fresh_seed_prob : float;
+  taint_mode : Dvz_ift.Policy.mode;
+}
+
+let default_options =
+  { iterations = 200; coverage_guided = true; style = `Derived;
+    rng_seed = 1; fresh_seed_prob = 0.35;
+    taint_mode = Dvz_ift.Policy.Diffift }
+
+type stats = {
+  s_options : options;
+  s_coverage_curve : int array;
+  s_findings : finding list;
+  s_first_bug : int option;
+  s_final_coverage : int;
+  s_triggered : int;
+}
+
+let dedup_key f =
+  Printf.sprintf "%s/%s/%s/%s"
+    (match f.fd_attack with `Meltdown -> "meltdown" | `Spectre -> "spectre")
+    (Seed.kind_name f.fd_window)
+    (String.concat "," f.fd_components)
+    (match f.fd_kind with `Timing -> "timing" | `Encode -> "encode")
+
+let findings_of_analysis ~iteration seed (a : Oracle.analysis) =
+  match a.Oracle.a_attack with
+  | None -> []
+  | Some attack ->
+      List.map
+        (fun leak ->
+          match leak with
+          | Oracle.Timing { components; _ } ->
+              { fd_attack = attack; fd_window = seed.Seed.kind;
+                fd_components = components; fd_kind = `Timing;
+                fd_iteration = iteration }
+          | Oracle.Encode { components; _ } ->
+              { fd_attack = attack; fd_window = seed.Seed.kind;
+                fd_components = components; fd_kind = `Encode;
+                fd_iteration = iteration })
+        a.Oracle.a_leaks
+
+let run cfg options =
+  let rng = Rng.create options.rng_seed in
+  let secret =
+    Array.init Dvz_soc.Layout.secret_dwords (fun _ -> Rng.int rng 0xFFFF_FFFF)
+  in
+  let coverage = Coverage.create () in
+  let curve = Array.make options.iterations 0 in
+  let corpus : Packet.testcase list ref = ref [] in
+  let seen = Hashtbl.create 32 in
+  let findings = ref [] in
+  let first_bug = ref None in
+  let triggered = ref 0 in
+  for it = 0 to options.iterations - 1 do
+    (* Seed selection: mutate a corpus entry's window, or start fresh. *)
+    let phase1 =
+      if !corpus = [] || Rng.chance rng options.fresh_seed_prob then begin
+        let seed = Seed.random rng in
+        let tc = Trigger_gen.generate ~style:options.style cfg seed in
+        if Trigger_opt.evaluate cfg tc then begin
+          let reduced, _ = Trigger_opt.reduce cfg tc in
+          Some reduced
+        end
+        else None
+      end
+      else begin
+        let tc = Rng.choose_list rng !corpus in
+        let seed = Seed.mutate_window rng tc.Packet.seed in
+        Some { tc with Packet.seed = seed }
+      end
+    in
+    (match phase1 with
+    | None -> ()
+    | Some tc ->
+        incr triggered;
+        let completed = Window_gen.complete cfg tc in
+        let analysis =
+          Oracle.analyze ~mode:options.taint_mode cfg ~secret completed
+        in
+        let fresh =
+          Coverage.observe_result coverage analysis.Oracle.a_result
+        in
+        (* Corpus policy is where the DejaVuzz- ablation differs: the
+           guided fuzzer accumulates every coverage-increasing seed and
+           keeps mutating all of them; the blind variant only carries the
+           current seed forward (§6.3: "randomly updates the secret
+           encoding block or regenerates a new transient window for each
+           round"). *)
+        if options.coverage_guided then begin
+          if fresh > 0 then corpus := tc :: !corpus;
+          if List.length !corpus > 64 then
+            corpus := List.filteri (fun i _ -> i < 64) !corpus
+        end
+        else corpus := [ tc ];
+        List.iter
+          (fun f ->
+            let key = dedup_key f in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              findings := f :: !findings;
+              if !first_bug = None then first_bug := Some it
+            end)
+          (findings_of_analysis ~iteration:it tc.Packet.seed analysis));
+    curve.(it) <- Coverage.points coverage
+  done;
+  { s_options = options;
+    s_coverage_curve = curve;
+    s_findings = List.rev !findings;
+    s_first_bug = !first_bug;
+    s_final_coverage = Coverage.points coverage;
+    s_triggered = !triggered }

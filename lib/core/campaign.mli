@@ -1,0 +1,44 @@
+(** The fuzzing manager: ties the three phases into a campaign loop.
+
+    Per iteration: pick a seed (a coverage-rewarded corpus entry with a
+    freshly mutated window section, or a brand-new random seed), run
+    Phase 1 (trigger generation, evaluation, training reduction) for new
+    seeds, Phase 2 (window completion, diffIFT simulation, taint-coverage
+    measurement) and Phase 3 (oracles).  Coverage-increasing seeds enter
+    the corpus; the DejaVuzz⁻ ablation disables this feedback and mutates
+    blindly. *)
+
+type finding = {
+  fd_attack : [ `Meltdown | `Spectre ];
+  fd_window : Seed.trigger_kind;
+  fd_components : Oracle.component list;
+  fd_kind : [ `Timing | `Encode ];
+  fd_iteration : int;
+}
+
+type options = {
+  iterations : int;
+  coverage_guided : bool;   (** false = DejaVuzz⁻ *)
+  style : [ `Derived | `Random ];  (** [`Random] = DejaVuzz* training *)
+  rng_seed : int;
+  fresh_seed_prob : float;  (** probability of a brand-new seed *)
+  taint_mode : Dvz_ift.Policy.mode;
+      (** IFT policy driving coverage and oracles; [Cellift] is the
+          over-tainting ablation *)
+}
+
+val default_options : options
+
+type stats = {
+  s_options : options;
+  s_coverage_curve : int array;  (** covered points after each iteration *)
+  s_findings : finding list;     (** deduplicated, chronological *)
+  s_first_bug : int option;      (** iteration of the first finding *)
+  s_final_coverage : int;
+  s_triggered : int;             (** iterations whose window fired *)
+}
+
+val run : Dvz_uarch.Config.t -> options -> stats
+
+val dedup_key : finding -> string
+(** Two findings with the same key are the same bug class. *)

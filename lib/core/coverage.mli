@@ -1,0 +1,23 @@
+(** The taint coverage matrix (§4.2.2).
+
+    Per simulated slot, the number of tainted state elements within each
+    module is a coverage point [(module, count)]; a point is covered once
+    any slot of any run exhibits it.  The metric is local (per-module) and
+    position-insensitive (two different tainted cache slots with the same
+    per-module count map to the same point), exactly the two properties the
+    paper calls out. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> Dvz_uarch.Dualcore.log_entry list -> int
+(** Feeds one run's taint log (transient-window slots only, per §4.2.2);
+    returns the number of newly covered points. *)
+
+val observe_result : t -> Dvz_uarch.Dualcore.result -> int
+
+val points : t -> int
+(** Total covered points — the y-axis of Figure 7. *)
+
+val copy : t -> t

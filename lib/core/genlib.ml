@@ -1,0 +1,59 @@
+open Dvz_isa
+module Rng = Dvz_util.Rng
+
+let li rd v =
+  if Encode.fits_imm12 v then [ Insn.Opi (Insn.Addi, rd, Reg.zero, v) ]
+  else begin
+    let lo = ((v + 2048) land 0xFFF) - 2048 in
+    let hi = (v - lo) asr 12 in
+    if hi < 0 || hi >= 1 lsl 20 then invalid_arg "Genlib.li: out of range";
+    if lo = 0 then [ Insn.Lui (rd, hi) ]
+    else [ Insn.Lui (rd, hi); Insn.Opi (Insn.Addi, rd, rd, lo) ]
+  end
+
+let li_high rd ~tmp ~low ~shift =
+  li rd low
+  @ [ Insn.Opi (Insn.Addi, tmp, Reg.zero, 1);
+      Insn.Opi (Insn.Slli, tmp, tmp, shift);
+      Insn.Op (Insn.Add, rd, rd, tmp) ]
+
+let nops n = List.init n (fun _ -> Insn.nop)
+
+let pad_to insns n =
+  let len = List.length insns in
+  if len > n then invalid_arg "Genlib.pad_to: sequence too long";
+  insns @ nops (n - len)
+
+let random_cond_operands rng cond ~taken =
+  (* Small positive operands keep every comparison's signed/unsigned
+     variants in agreement, so selection is straightforward. *)
+  let a = Rng.int_in rng 1 100 in
+  let lt = (a + Rng.int_in rng 1 50, a) in
+  let gt = (a, a + Rng.int_in rng 1 50) in
+  let eq = (a, a) in
+  match (cond, taken) with
+  | Insn.Eq, true -> eq
+  | Insn.Eq, false -> gt
+  | Insn.Ne, true -> gt
+  | Insn.Ne, false -> eq
+  | (Insn.Lt | Insn.Ltu), true -> gt
+  | (Insn.Lt | Insn.Ltu), false -> lt
+  | (Insn.Ge | Insn.Geu), true -> lt
+  | (Insn.Ge | Insn.Geu), false -> gt
+
+let random_arith rng ~dst ~srcs =
+  let ops = [| Insn.Add; Insn.Sub; Insn.Xor; Insn.Or; Insn.And; Insn.Mul |] in
+  match srcs with
+  | [] -> Insn.Opi (Insn.Addi, dst, Reg.zero, Rng.int_in rng (-100) 100)
+  | [ s ] ->
+      if Rng.bool rng then
+        Insn.Opi (Insn.Addi, dst, s, Rng.int_in rng (-100) 100)
+      else Insn.Op (Rng.choose rng ops, dst, s, s)
+  | s1 :: s2 :: _ -> Insn.Op (Rng.choose rng ops, dst, s1, s2)
+
+let illegal_word rng =
+  (* opcode 1111111 is unallocated; randomise the upper bits. *)
+  (Rng.int rng (1 lsl 25) lsl 7) lor 0b1111111
+
+let scratch =
+  [| Reg.t0; Reg.t1; Reg.t2; Reg.x 28; Reg.x 29; Reg.x 30; Reg.x 31 |]

@@ -1,0 +1,30 @@
+(** Shared helpers for the instruction generators. *)
+
+open Dvz_isa
+
+val li : Reg.t -> int -> Insn.t list
+(** Materialise a constant in a register (addi, or lui+addi for values that
+    need more than 12 bits).  Supports the 32-bit range. *)
+
+val li_high : Reg.t -> tmp:Reg.t -> low:int -> shift:int -> Insn.t list
+(** [li_high rd ~tmp ~low ~shift] materialises [low + (1 lsl shift)] —
+    the oversized addresses the MDS-style masked secret access uses. *)
+
+val nops : int -> Insn.t list
+
+val pad_to : Insn.t list -> int -> Insn.t list
+(** [pad_to insns n] appends nops until the sequence is [n] instructions
+    long.  Raises [Invalid_argument] if it is already longer. *)
+
+val random_cond_operands :
+  Dvz_util.Rng.t -> Insn.cond -> taken:bool -> int * int
+(** Operand values making the comparison resolve to [taken]. *)
+
+val random_arith : Dvz_util.Rng.t -> dst:Reg.t -> srcs:Reg.t list -> Insn.t
+(** A random arithmetic instruction writing [dst] from the given sources. *)
+
+val illegal_word : Dvz_util.Rng.t -> int
+(** A 32-bit word guaranteed not to decode in the supported subset. *)
+
+val scratch : Reg.t array
+(** Registers the generators may clobber freely. *)

@@ -1,0 +1,122 @@
+module Dualcore = Dvz_uarch.Dualcore
+module Core = Dvz_uarch.Core
+module Elem = Dvz_uarch.Elem
+
+type component = string
+
+type leak =
+  | Timing of { pairs : (int * int * int) list; components : component list }
+  | Encode of { sinks : Elem.t list; components : component list }
+
+type analysis = {
+  a_result : Dualcore.result;
+  a_leaks : leak list;
+  a_attack : [ `Meltdown | `Spectre ] option;
+  a_live_sinks : Elem.t list;
+  a_all_sinks : Elem.t list;
+}
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let component_of_module m =
+  if starts_with "lsu.dcache" m then Some "dcache"
+  else if starts_with "frontend.icache" m then Some "icache"
+  else if starts_with "lsu.tlb" m || m = "lsu.l2tlb" then Some "(l2)tlb"
+  else
+    match m with
+    | "frontend.btb" -> Some "(fau)btb"
+    | "frontend.ras" -> Some "ras"
+    | "frontend.loop" -> Some "loop"
+    | "frontend.bht" -> Some "bht"
+    | "lsu.lfb" -> Some "lfb"
+    | "lsu.ldq" | "lsu.stq" -> Some "lsu"
+    | "core.prf" -> Some "prf"
+    | "rob" -> Some "rob"
+    | _ -> None
+
+let sink_components sinks =
+  List.sort_uniq compare
+    (List.filter_map (fun e -> component_of_module (Elem.module_of e)) sinks)
+
+(* Timing-leak attribution: which contended unit the window payload used. *)
+let timing_components tc =
+  let tags = tc.Packet.gadget_tags in
+  let comps =
+    List.filter_map
+      (function
+        | "fpu" -> Some "fpu"
+        | "lsu" -> Some "lsu"
+        | "refetch" -> Some "icache"
+        | _ -> None)
+      tags
+  in
+  match List.sort_uniq compare comps with [] -> [ "lsu" ] | l -> l
+
+let microarch_sink e =
+  match Elem.module_of e with
+  | "core.arf" | "mem" | "frontend.pc" -> false
+  | _ -> true
+
+let attack_of_result result =
+  let windows =
+    List.filter
+      (fun w -> w.Core.wr_in_transient_blob && w.Core.wr_secret_accessed)
+      result.Dualcore.r_windows_a
+  in
+  match windows with
+  | [] -> None
+  | ws ->
+      if List.exists (fun w -> w.Core.wr_secret_fault) ws then Some `Meltdown
+      else Some `Spectre
+
+let analyze ?(use_liveness = true) ?(mode = Dvz_ift.Policy.Diffift) cfg
+    ~secret tc =
+  let run tcase =
+    Dualcore.run (Dualcore.create ~mode cfg (Packet.stimulus ~secret tcase))
+  in
+  let result = run tc in
+  let all_sinks = List.filter microarch_sink result.Dualcore.r_final_tainted in
+  let live_sinks = List.filter microarch_sink result.Dualcore.r_live_tainted in
+  let timing = Dualcore.window_timing_diffs result in
+  let leaks = ref [] in
+  if timing <> [] then
+    leaks := [ Timing { pairs = timing; components = timing_components tc } ];
+  (* Encode sanitization: replay with the encoding block nop'd and keep
+     only sinks the encoding block produced.  The paper runs this only when
+     the constant-time check passes; we additionally run it on timing leaks
+     so the encoded components are attributed too (one extra simulation). *)
+  let sanitized = run (Window_gen.sanitize cfg tc) in
+  let baseline =
+    if use_liveness then
+      List.filter microarch_sink sanitized.Dualcore.r_live_tainted
+    else List.filter microarch_sink sanitized.Dualcore.r_final_tainted
+  in
+  let candidates = if use_liveness then live_sinks else all_sinks in
+  let encoded =
+    List.filter (fun e -> not (List.exists (Elem.equal e) baseline)) candidates
+  in
+  if encoded <> [] then
+    leaks :=
+      !leaks @ [ Encode { sinks = encoded; components = sink_components encoded } ];
+  { a_result = result;
+    a_leaks = !leaks;
+    a_attack = attack_of_result result;
+    a_live_sinks = live_sinks;
+    a_all_sinks = all_sinks }
+
+let is_leak a = a.a_leaks <> []
+
+let analyze_with_retries ?use_liveness ?(retries = 3) cfg ~secret tc =
+  (* Deterministic secret-pair variations: rotate and perturb the original
+     so consecutive attempts disagree on different bit positions. *)
+  let variant k =
+    Array.mapi (fun i v -> v lxor (0x9E3779B9 * (k + 1)) lxor (i * 0x85EB)) secret
+  in
+  let rec go k =
+    let s = if k = 0 then secret else variant k in
+    let a = analyze ?use_liveness cfg ~secret:s tc in
+    if is_leak a || k + 1 >= max 1 retries then a else go (k + 1)
+  in
+  go 0

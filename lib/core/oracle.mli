@@ -1,0 +1,65 @@
+(** Phase 3 — transient leakage analysis (§4.3).
+
+    First the constant-time check: paired transient windows whose durations
+    differ between the two DUT instances are timing leaks (port contention,
+    fetch preemption).  Otherwise, encode sanitization re-runs the stimulus
+    with the secret encoding block nop'd out and diffs the tainted sinks;
+    taints present only in the original run were produced by the encoding
+    block.  Finally the tainted-sink liveness analysis keeps only sinks
+    whose liveness signal is high — squash-drained structures (PRF, RoB,
+    load/store queues) and stale-but-invalid buffers (the LFB decoy) are
+    filtered as unexploitable. *)
+
+type component = string
+(** Table 5's "encoded timing component" labels: "dcache", "icache",
+    "(l2)tlb", "(fau)btb", "ras", "loop", "lsu", "fpu", ... *)
+
+type leak =
+  | Timing of { pairs : (int * int * int) list; components : component list }
+      (** transient-window constant-time violations *)
+  | Encode of { sinks : Dvz_uarch.Elem.t list; components : component list }
+      (** exploitable encoded secrets identified via liveness *)
+
+type analysis = {
+  a_result : Dvz_uarch.Dualcore.result;   (** the original diffIFT run *)
+  a_leaks : leak list;
+  a_attack : [ `Meltdown | `Spectre ] option;
+      (** [Some] when a transient window in the transient packet accessed
+          the secret; [`Meltdown] if that access violated privilege *)
+  a_live_sinks : Dvz_uarch.Elem.t list;   (** after liveness filtering *)
+  a_all_sinks : Dvz_uarch.Elem.t list;
+      (** without liveness filtering — what a liveness-unaware oracle
+          (or SpecDoctor's hash comparison) would report *)
+}
+
+val component_of_module : string -> component option
+(** Maps an {!Dvz_uarch.Elem.module_of} tag to its Table 5 label; [None]
+    for architectural state, which is not a sink. *)
+
+val analyze :
+  ?use_liveness:bool ->
+  ?mode:Dvz_ift.Policy.mode ->
+  Dvz_uarch.Config.t ->
+  secret:int array ->
+  Packet.testcase ->
+  analysis
+(** Runs the full Phase 3 pipeline on a completed test case.
+    [use_liveness=false] reproduces the ablated oracle of the §6.3 liveness
+    evaluation (residual PRF/RoB taints become false positives); [mode]
+    selects the IFT policy driving the testbench ([Diffift] by default —
+    [Cellift] shows how control-flow over-tainting floods the oracle). *)
+
+val analyze_with_retries :
+  ?use_liveness:bool ->
+  ?retries:int ->
+  Dvz_uarch.Config.t ->
+  secret:int array ->
+  Packet.testcase ->
+  analysis
+(** §7's false-negative mitigation: diffIFT under-approximates when a
+    secret pair happens to agree on a control signal, so re-attempt the
+    analysis with different secret pairs (derived deterministically from
+    the original) until a leak is found or [retries] (default 3) pairs have
+    been tried.  Returns the first leaking analysis, else the last one. *)
+
+val is_leak : analysis -> bool

@@ -1,0 +1,27 @@
+module Core = Dvz_uarch.Core
+
+let eval_secret = Array.make Dvz_soc.Layout.secret_dwords 0x5A
+
+let evaluate cfg tc =
+  let stim = Packet.stimulus ~secret:eval_secret tc in
+  let core = Core.create cfg stim in
+  ignore (Core.run core);
+  Trigger_gen.triggered tc (Core.windows core)
+
+let reduce cfg tc =
+  if not (evaluate cfg tc) then (tc, 0)
+  else begin
+    (* Walk the trigger training packets in schedule order; drop each whose
+       removal leaves the window triggering. *)
+    let rec go kept removed = function
+      | [] -> (List.rev kept, removed)
+      | p :: rest ->
+          let candidate =
+            Packet.with_trigger_trainings tc (List.rev_append kept rest)
+          in
+          if evaluate cfg candidate then go kept (removed + 1) rest
+          else go (p :: kept) removed rest
+    in
+    let kept, removed = go [] 0 tc.Packet.trigger_trainings in
+    (Packet.with_trigger_trainings tc kept, removed)
+  end

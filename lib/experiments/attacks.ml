@@ -1,0 +1,57 @@
+open Dvz_isa
+module Seed = Dejavuzz.Seed
+module Packet = Dejavuzz.Packet
+module Trigger_gen = Dejavuzz.Trigger_gen
+module Trigger_opt = Dejavuzz.Trigger_opt
+module Window_gen = Dejavuzz.Window_gen
+
+type name = Spectre_v1 | Spectre_v2 | Meltdown | Spectre_v4 | Spectre_rsb
+
+let all = [ Spectre_v1; Spectre_v2; Meltdown; Spectre_v4; Spectre_rsb ]
+
+let to_string = function
+  | Spectre_v1 -> "Spectre-V1"
+  | Spectre_v2 -> "Spectre-V2"
+  | Meltdown -> "Meltdown"
+  | Spectre_v4 -> "Spectre-V4"
+  | Spectre_rsb -> "Spectre-RSB"
+
+let secret = Array.make Dvz_soc.Layout.secret_dwords 0xC0FFEE
+
+let kind_of = function
+  | Spectre_v1 -> Seed.T_branch
+  | Spectre_v2 -> Seed.T_jump
+  | Meltdown -> Seed.T_access_fault
+  | Spectre_v4 -> Seed.T_mem_disamb
+  | Spectre_rsb -> Seed.T_return
+
+let t4 = Reg.x 28
+let t5 = Reg.x 29
+
+let payload name =
+  let base = match name with Spectre_v4 -> Reg.a2 | _ -> Reg.s1 in
+  [ Insn.Load (Insn.D, false, Reg.s0, base, 0);
+    Insn.Opi (Insn.Andi, t4, Reg.s0, 1);
+    Insn.Opi (Insn.Slli, t4, t4, 6);
+    Insn.Op (Insn.Add, t4, t4, Reg.a3);
+    Insn.Load (Insn.D, false, t5, t4, 0) ]
+
+let build cfg name =
+  let kind = kind_of name in
+  let tighten = name = Meltdown in
+  (* Deterministic entropy search: keep the first trigger that verifiably
+     fires on this configuration. *)
+  let rec search entropy =
+    if entropy > 64 then
+      failwith ("Attacks.build: cannot trigger " ^ to_string name)
+    else begin
+      let seed =
+        { Seed.kind; trigger_entropy = entropy; window_entropy = 1;
+          tighten; mask_high = false }
+      in
+      let tc = Trigger_gen.generate ~force_training:true cfg seed in
+      let tc = Window_gen.splice tc (payload name) in
+      if Trigger_opt.evaluate cfg tc then tc else search (entropy + 1)
+    end
+  in
+  search 1

@@ -1,0 +1,19 @@
+(** The five hand-written transient-execution attack test cases of the
+    Table 4 / Figure 6 micro-benchmark ("we manually implement a benchmark
+    covering common transient execution vulnerability test cases"). *)
+
+type name = Spectre_v1 | Spectre_v2 | Meltdown | Spectre_v4 | Spectre_rsb
+
+val all : name list
+
+val to_string : name -> string
+
+val build : Dvz_uarch.Config.t -> name -> Dejavuzz.Packet.testcase
+(** Builds the attack as a swapMem test case with a deterministic
+    flush+reload (dcache-encoding) payload.  The construction searches a
+    few trigger entropies and keeps the first that verifiably triggers, so
+    the result is deterministic and known-good.  Raises [Failure] if the
+    attack cannot be triggered on this configuration. *)
+
+val secret : int array
+(** The secret dwords the micro-benchmark uses. *)

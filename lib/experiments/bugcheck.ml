@@ -1,0 +1,170 @@
+open Dvz_isa
+module Cfg = Dvz_uarch.Config
+module Seed = Dejavuzz.Seed
+module Packet = Dejavuzz.Packet
+module Trigger_gen = Dejavuzz.Trigger_gen
+module Trigger_opt = Dejavuzz.Trigger_opt
+module Window_gen = Dejavuzz.Window_gen
+module Oracle = Dejavuzz.Oracle
+
+type bug = B1 | B2 | B3 | B4 | B5
+
+let all = [ B1; B2; B3; B4; B5 ]
+
+let name = function
+  | B1 -> "B1 MeltDown-Sampling"
+  | B2 -> "B2 Phantom-RSB"
+  | B3 -> "B3 Phantom-BTB"
+  | B4 -> "B4 Spectre-Refetch"
+  | B5 -> "B5 Spectre-Reload"
+
+let cve = function
+  | B1 -> "CVE-2024-44594"
+  | B2 -> "CVE-2024-44591"
+  | B3 -> "CVE-2024-44590"
+  | B4 -> "CVE-2024-44592/44593"
+  | B5 -> "CVE-2024-44595"
+
+let vulnerable_core = function
+  | B1 | B5 -> Cfg.xiangshan_minimal
+  | B2 | B3 -> Cfg.boom_small
+  | B4 -> Cfg.boom_small
+
+let immune_core = function
+  | B1 -> Some Cfg.boom_small (* no address truncation *)
+  | B2 -> Some Cfg.xiangshan_minimal (* full RAS restore *)
+  | B3 -> Some Cfg.xiangshan_minimal (* no exception/misprediction race *)
+  | B4 | B5 -> None (* the PoC's secret-gated path times differently on any
+                       speculative core, so no clean immune control exists *)
+
+let expected_component = function
+  | B1 -> "dcache"
+  | B2 -> "ras"
+  | B3 -> "(fau)btb"
+  | B4 -> "icache"
+  | B5 -> "lsu"
+
+type verdict = {
+  v_detected : bool;
+  v_components : Oracle.component list;
+  v_attack : [ `Meltdown | `Spectre ] option;
+}
+
+let t4 = Reg.x 28
+let t5 = Reg.x 29
+
+(* Deterministic payload shapes, mirroring the paper's §6.4 listings. *)
+let dcache_encode =
+  [ Insn.Opi (Insn.Andi, t4, Reg.s0, 1);
+    Insn.Opi (Insn.Slli, t4, t4, 6);
+    Insn.Op (Insn.Add, t4, t4, Reg.a3);
+    Insn.Load (Insn.D, false, t5, t4, 0) ]
+
+let ras_corrupt =
+  [ Insn.Auipc (Reg.ra, 0);
+    Insn.Opi (Insn.Andi, t4, Reg.s0, 1);
+    Insn.Op (Insn.Sub, t4, Reg.zero, t4);
+    Insn.Op (Insn.And, Reg.ra, Reg.ra, t4);
+    Insn.Jalr (Reg.zero, Reg.ra, 20);
+    Insn.Jalr (Reg.zero, Reg.ra, 24);
+    Insn.Jalr (Reg.ra, Reg.ra, 28) ]
+
+let btb_race =
+  [ Insn.Auipc (t5, 0);
+    Insn.Opi (Insn.Andi, t4, Reg.s0, 1);
+    Insn.Opi (Insn.Slli, t4, t4, 3);
+    Insn.Op (Insn.Add, t5, t5, t4);
+    Insn.Jalr (Reg.zero, t5, 20) ]
+
+let refetch =
+  [ Insn.Opi (Insn.Andi, t4, Reg.s0, 1);
+    Insn.Branch (Insn.Ne, t4, Reg.zero, 4 * 120) ]
+
+let reload =
+  [ Insn.Opi (Insn.Andi, t4, Reg.s0, 1);
+    Insn.Branch (Insn.Eq, t4, Reg.zero, 12);
+    Insn.Load (Insn.D, false, t5, Reg.a3, 0) ]
+
+(* Build the PoC test case for a bug on a core: search a few trigger
+   entropies (deterministically) for one that verifiably fires. *)
+let poc cfg bug =
+  let kind, tighten, mask_high, payload, tags =
+    match bug with
+    | B1 -> (Seed.T_access_fault, true, true, dcache_encode, [ "dcache" ])
+    | B2 -> (Seed.T_branch, false, false, ras_corrupt, [ "ras" ])
+    | B3 -> (Seed.T_misalign, false, false, btb_race, [ "btb" ])
+    | B4 -> (Seed.T_branch, false, false, refetch, [ "refetch" ])
+    | B5 -> (Seed.T_mem_disamb, false, false, reload, [ "lsu" ])
+  in
+  let access =
+    match bug with
+    | B5 -> [ Insn.Load (Insn.D, false, Reg.s0, Reg.a2, 0) ]
+    | _ -> [ Insn.Load (Insn.D, false, Reg.s0, Reg.s1, 0) ]
+  in
+  let rec search entropy =
+    if entropy > 64 then failwith ("Bugcheck: cannot trigger " ^ name bug)
+    else begin
+      let seed =
+        { Seed.kind; trigger_entropy = entropy; window_entropy = 1;
+          tighten; mask_high }
+      in
+      let tc0 = Trigger_gen.generate ~force_training:true cfg seed in
+      (* B5 and the cache-encoding PoCs rely on warmed probe lines, so the
+         derived window-training packets are kept. *)
+      let trainings =
+        (Window_gen.complete cfg tc0).Packet.window_trainings
+      in
+      let tc = Window_gen.splice tc0 (access @ payload) in
+      let tc =
+        { tc with Packet.window_trainings = trainings;
+          Packet.gadget_tags = tags }
+      in
+      if Trigger_opt.evaluate cfg tc then tc else search (entropy + 1)
+    end
+  in
+  search 1
+
+let check cfg bug =
+  let tc = poc cfg bug in
+  let secret = Array.make Dvz_soc.Layout.secret_dwords 0xB16B00B5 in
+  let a = Oracle.analyze cfg ~secret tc in
+  let components =
+    List.sort_uniq compare
+      (List.concat_map
+         (function
+           | Oracle.Timing { components; _ } -> components
+           | Oracle.Encode { components; _ } -> components)
+         a.Oracle.a_leaks)
+  in
+  { v_detected = Oracle.is_leak a;
+    v_components = components;
+    v_attack = a.Oracle.a_attack }
+
+let render () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "B1-B5 proof-of-concept reproductions (section 6.4)\n\n";
+  List.iter
+    (fun bug ->
+      let cfg = vulnerable_core bug in
+      let v = check cfg bug in
+      Buffer.add_string buf
+        (Printf.sprintf "%-22s %-20s on %-26s detected=%b via {%s}%s\n"
+           (name bug) (cve bug) cfg.Cfg.name v.v_detected
+           (String.concat ", " v.v_components)
+           (match v.v_attack with
+           | Some `Meltdown -> " [Meltdown]"
+           | Some `Spectre -> " [Spectre]"
+           | None -> ""));
+      match immune_core bug with
+      | None -> ()
+      | Some immune ->
+          let vi = check immune bug in
+          Buffer.add_string buf
+            (Printf.sprintf "%-22s %-20s on %-26s %s\n" "" "(control)"
+               immune.Cfg.name
+               (if List.mem (expected_component bug) vi.v_components then
+                  "UNEXPECTED: component present"
+                else "component absent as expected")))
+    all;
+  Buffer.contents buf

@@ -1,0 +1,100 @@
+module Stats = Dvz_util.Stats
+module Campaign = Dejavuzz.Campaign
+module Variants = Dvz_baselines.Variants
+module Sd = Dvz_baselines.Specdoctor
+
+type curve = {
+  cv_fuzzer : string;
+  cv_mean : float array;
+  cv_ci : float array;
+}
+
+type result = {
+  curves : curve list;
+  ratio_vs_specdoctor : float;
+  ratio_vs_minus : float;
+  iters_to_specdoctor : int option;
+}
+
+let aggregate name trials_curves =
+  let iterations = Array.length (List.hd trials_curves) in
+  let mean = Array.make iterations 0.0 and ci = Array.make iterations 0.0 in
+  for i = 0 to iterations - 1 do
+    let points = List.map (fun c -> float_of_int c.(i)) trials_curves in
+    let m, half = Stats.ci95 points in
+    mean.(i) <- m;
+    ci.(i) <- half
+  done;
+  { cv_fuzzer = name; cv_mean = mean; cv_ci = ci }
+
+let run ?(iterations = 1000) ?(trials = 5) ?(rng_seed = 7) cfg =
+  (* Trials are independent deterministic computations: run them on
+     parallel domains, as the paper's multi-threaded fuzzing manager runs
+     its RTL simulation instances. *)
+  let trial_list f =
+    Dvz_util.Parallel.map f (List.init trials (fun t -> rng_seed + (100 * t)))
+  in
+  let dejavuzz =
+    trial_list (fun s ->
+        (Campaign.run cfg (Variants.full_options ~iterations ~rng_seed:s))
+          .Campaign.s_coverage_curve)
+  in
+  let minus =
+    trial_list (fun s ->
+        (Campaign.run cfg (Variants.minus_options ~iterations ~rng_seed:s))
+          .Campaign.s_coverage_curve)
+  in
+  let specdoctor =
+    trial_list (fun s ->
+        (Sd.campaign ~rng_seed:s ~iterations cfg).Sd.sd_coverage_curve)
+  in
+  let curves =
+    [ aggregate "DejaVuzz" dejavuzz;
+      aggregate "DejaVuzz-" minus;
+      aggregate "SpecDoctor" specdoctor ]
+  in
+  let final c = c.cv_mean.(iterations - 1) in
+  let dv = List.nth curves 0 and mn = List.nth curves 1 and sd = List.nth curves 2 in
+  let iters_to_specdoctor =
+    let target = final sd in
+    let rec find i =
+      if i >= iterations then None
+      else if dv.cv_mean.(i) >= target then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  { curves;
+    ratio_vs_specdoctor = final dv /. max 1.0 (final sd);
+    ratio_vs_minus = final dv /. max 1.0 (final mn);
+    iters_to_specdoctor }
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Figure 7: taint coverage over fuzzing iterations\n";
+  let iterations = Array.length (List.hd r.curves).cv_mean in
+  let buckets = 20 in
+  List.iter
+    (fun c ->
+      let pts =
+        List.init buckets (fun i ->
+            let idx = min (iterations - 1) ((i + 1) * iterations / buckets) in
+            Printf.sprintf "%.0f±%.0f" c.cv_mean.(idx) c.cv_ci.(idx))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-11s %s\n" c.cv_fuzzer (String.concat " " pts)))
+    r.curves;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "final coverage: DejaVuzz/SpecDoctor = %.1fx (paper: 4.7x); \
+        DejaVuzz/DejaVuzz- = %.2fx (paper: 1.22x)\n"
+       r.ratio_vs_specdoctor r.ratio_vs_minus);
+  Buffer.add_string buf
+    (match r.iters_to_specdoctor with
+    | Some i ->
+        Printf.sprintf
+          "DejaVuzz reaches SpecDoctor's saturation coverage in %d iterations \
+           (paper: 118)\n"
+          i
+    | None -> "DejaVuzz did not reach SpecDoctor's final coverage\n");
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Figure 7 — taint coverage growth over fuzzing iterations, 5 trials
+    each, for DejaVuzz, the DejaVuzz⁻ ablation (no coverage feedback) and
+    SpecDoctor (replayed under diffIFT for a comparable coverage metric,
+    exactly as the paper replays SpecDoctor's phase 3 cases).
+
+    Reported shape properties: DejaVuzz's final coverage over SpecDoctor's
+    (the paper's 4.7×), the improvement over DejaVuzz⁻ (the paper's +22%),
+    and how many iterations DejaVuzz needs to match SpecDoctor's
+    saturation coverage (the paper's 118). *)
+
+type curve = {
+  cv_fuzzer : string;
+  cv_mean : float array;     (** mean coverage per iteration over trials *)
+  cv_ci : float array;       (** 95% CI half-width per iteration *)
+}
+
+type result = {
+  curves : curve list;
+  ratio_vs_specdoctor : float;
+  ratio_vs_minus : float;
+  iters_to_specdoctor : int option;
+      (** iterations DejaVuzz needs to reach SpecDoctor's final coverage *)
+}
+
+val run : ?iterations:int -> ?trials:int -> ?rng_seed:int ->
+  Dvz_uarch.Config.t -> result
+
+val render : result -> string

@@ -1,0 +1,21 @@
+(** The §6.3 liveness evaluation.
+
+    SpecDoctor's phase 3 flags every test case whose final state hashes
+    differ between the two secret variants.  Replaying those candidates
+    through the taint liveness oracle separates real leaks from false
+    positives (the paper: 75 candidates, 17 real); replaying them through a
+    liveness-{e un}aware taint oracle misclassifies residual PRF/RoB taints
+    as leaks (the paper: only 21 of 75 correctly identified). *)
+
+type result = {
+  candidates : int;          (** SpecDoctor hash-difference cases *)
+  real_leaks : int;          (** confirmed by the liveness oracle *)
+  false_positives : int;
+  no_liveness_correct : int; (** cases the liveness-ablated oracle gets right *)
+  no_liveness_wrong : int;
+}
+
+val run :
+  ?iterations:int -> ?rng_seed:int -> Dvz_uarch.Config.t -> result
+
+val render : result -> string

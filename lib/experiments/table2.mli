@@ -1,0 +1,3 @@
+(** Table 2 — the cores under evaluation (descriptive). *)
+
+val render : unit -> string

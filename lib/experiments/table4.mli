@@ -1,0 +1,28 @@
+(** Table 4 — overhead of differential information flow tracking.
+
+    Two measurements, as in the paper:
+
+    - {b Compile}: instrumentation time.  CellIFT instruments at the cell
+      level and must flatten all memories first; diffIFT instruments at the
+      RTL IR level.  We measure on representative netlists (the Figure 2
+      RoB circuit plus memories) scaled per core: building the plain
+      simulator (Base), flattening + shadow construction (CellIFT), and
+      direct shadow construction (diffIFT).
+
+    - {b Simulation}: wall-clock time of the five attack test cases of
+      {!Attacks} under Base (two uninstrumented DUT instances), CellIFT
+      mode and diffIFT mode of the dual-DUT testbench.  CellIFT's taint
+      explosion makes its per-cycle shadow work grow with the tainted-state
+      population, which is the paper's slowdown mechanism. *)
+
+type timing = { base : float; cellift : float; diffift : float }
+
+type result = {
+  core : string;
+  compile : timing;
+  sims : (string * timing) list;  (** per attack test case, seconds *)
+}
+
+val run : ?reps:int -> Dvz_uarch.Config.t -> result
+
+val render : result list -> string

@@ -1,0 +1,21 @@
+(** Table 5 — transient execution bugs discovered by full campaigns on both
+    cores, classified by attack type, transient-window type and encoded
+    timing component; plus the §6.4 comparison points: SpecDoctor's much
+    narrower finding set (dcache residue / LSU contention only) and the
+    first-bug detection effort. *)
+
+type result = {
+  core : string;
+  stats : Dejavuzz.Campaign.stats;
+  specdoctor_components : string list;
+      (** components reachable by SpecDoctor's candidates (BOOM only) *)
+}
+
+val run :
+  ?iterations:int -> ?rng_seed:int -> Dvz_uarch.Config.t -> result
+
+val run_many :
+  ?iterations:int -> ?rng_seed:int -> Dvz_uarch.Config.t list -> result list
+(** Runs one campaign per core on parallel domains. *)
+
+val render : result list -> string

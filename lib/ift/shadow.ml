@@ -1,0 +1,271 @@
+open Dvz_ir
+module N = Netlist
+
+type t = {
+  mode : Policy.mode;
+  nl : N.t;
+  va : int array;
+  vb : int array;
+  ta : int array;
+  mem_a : (string, int array) Hashtbl.t;
+  mem_b : (string, int array) Hashtbl.t;
+  mem_t : (string, int array) Hashtbl.t;
+  order : N.signal array;
+}
+
+let idx (s : N.signal) = (s :> int)
+
+let create mode nl =
+  let order = N.topo_order nl in
+  let n = N.num_signals nl in
+  let va = Array.make n 0 and vb = Array.make n 0 and ta = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let s = N.signal_of_int nl i in
+    match N.cell_of nl s with
+    | N.Reg r ->
+        va.(i) <- r.N.init;
+        vb.(i) <- r.N.init
+    | N.Const v ->
+        va.(i) <- v;
+        vb.(i) <- v
+    | _ -> ()
+  done;
+  let mk () = Hashtbl.create 8 in
+  let mem_a = mk () and mem_b = mk () and mem_t = mk () in
+  List.iter
+    (fun m ->
+      let d = N.mem_depth m in
+      Hashtbl.replace mem_a (N.mem_name m) (Array.make d 0);
+      Hashtbl.replace mem_b (N.mem_name m) (Array.make d 0);
+      Hashtbl.replace mem_t (N.mem_name m) (Array.make d 0))
+    (N.mems nl);
+  { mode; nl; va; vb; ta; mem_a; mem_b; mem_t; order }
+
+let mode t = t.mode
+let netlist t = t.nl
+
+let set_input t s v =
+  let v = Bits.trunc (N.width_of t.nl s) v in
+  t.va.(idx s) <- v;
+  t.vb.(idx s) <- v;
+  t.ta.(idx s) <- 0
+
+let set_input_pair t s va vb =
+  let w = N.width_of t.nl s in
+  t.va.(idx s) <- Bits.trunc w va;
+  t.vb.(idx s) <- Bits.trunc w vb;
+  t.ta.(idx s) <- Bits.mask w
+
+let set_input_taint t s m = t.ta.(idx s) <- Bits.trunc (N.width_of t.nl s) m
+
+let peek_a t s = t.va.(idx s)
+let peek_b t s = t.vb.(idx s)
+let taint_of t s = t.ta.(idx s)
+
+let marr tbl m = Hashtbl.find tbl (N.mem_name m)
+
+let poke_mem_pair t m i va vb =
+  let w = N.mem_width m in
+  (marr t.mem_a m).(i) <- Bits.trunc w va;
+  (marr t.mem_b m).(i) <- Bits.trunc w vb;
+  (marr t.mem_t m).(i) <- (if va <> vb then Bits.mask w else 0)
+
+let mem_taint t m i = (marr t.mem_t m).(i)
+
+(* Evaluate one combinational cell: both value instances plus the taint. *)
+let eval_cell t s =
+  let nl = t.nl in
+  let w = N.width_of nl s in
+  let va = t.va and vb = t.vb and ta = t.ta in
+  let a_of x = va.(idx x) and b_of x = vb.(idx x) and t_of x = ta.(idx x) in
+  let set ra rb rt =
+    va.(idx s) <- Bits.trunc w ra;
+    vb.(idx s) <- Bits.trunc w rb;
+    ta.(idx s) <- Bits.trunc w rt
+  in
+  match N.cell_of nl s with
+  | N.Input | N.Const _ | N.Reg _ -> ()
+  | N.Not x -> set (lnot (a_of x)) (lnot (b_of x)) (t_of x)
+  | N.And (x, y) ->
+      let ta' =
+        Policy.and_taint ~a:(a_of x) ~b:(a_of y) ~at:(t_of x) ~bt:(t_of y)
+        lor Policy.and_taint ~a:(b_of x) ~b:(b_of y) ~at:(t_of x) ~bt:(t_of y)
+      in
+      set (a_of x land a_of y) (b_of x land b_of y) ta'
+  | N.Or (x, y) ->
+      let ta' =
+        Policy.or_taint ~a:(a_of x) ~b:(a_of y) ~at:(t_of x) ~bt:(t_of y)
+        lor Policy.or_taint ~a:(b_of x) ~b:(b_of y) ~at:(t_of x) ~bt:(t_of y)
+      in
+      set (a_of x lor a_of y) (b_of x lor b_of y) ta'
+  | N.Xor (x, y) ->
+      set (a_of x lxor a_of y) (b_of x lxor b_of y) (t_of x lor t_of y)
+  | N.Mux (sel, x, y) ->
+      let ra = if a_of sel = 1 then a_of y else a_of x in
+      let rb = if b_of sel = 1 then b_of y else b_of x in
+      let ab_xor = a_of x lxor a_of y lor (b_of x lxor b_of y) in
+      let ta' =
+        Policy.mux_taint t.mode ~width:w ~s:(a_of sel)
+          ~s_diff:(a_of sel <> b_of sel) ~a:(a_of x) ~b:(a_of y)
+          ~st:(t_of sel) ~at:(t_of x) ~bt:(t_of y) ~ab_xor
+      in
+      set ra rb ta'
+  | N.Eq (x, y) ->
+      let ra = if a_of x = a_of y then 1 else 0 in
+      let rb = if b_of x = b_of y then 1 else 0 in
+      let ta' =
+        Policy.cmp_taint t.mode ~o_diff:(ra <> rb) ~at:(t_of x) ~bt:(t_of y)
+      in
+      set ra rb ta'
+  | N.Lt (x, y) ->
+      let ra = if a_of x < a_of y then 1 else 0 in
+      let rb = if b_of x < b_of y then 1 else 0 in
+      let ta' =
+        Policy.cmp_taint t.mode ~o_diff:(ra <> rb) ~at:(t_of x) ~bt:(t_of y)
+      in
+      set ra rb ta'
+  | N.Add (x, y) ->
+      set (a_of x + a_of y) (b_of x + b_of y)
+        (Policy.arith_taint ~width:w ~at:(t_of x) ~bt:(t_of y))
+  | N.Sub (x, y) ->
+      set (a_of x - a_of y) (b_of x - b_of y)
+        (Policy.arith_taint ~width:w ~at:(t_of x) ~bt:(t_of y))
+  | N.Shl (x, n) -> set (a_of x lsl n) (b_of x lsl n) (t_of x lsl n)
+  | N.Shr (x, n) -> set (a_of x lsr n) (b_of x lsr n) (t_of x lsr n)
+  | N.Slice (x, lo) -> set (a_of x lsr lo) (b_of x lsr lo) (t_of x lsr lo)
+  | N.Concat (hi, lo) ->
+      let wlo = N.width_of nl lo in
+      set
+        ((a_of hi lsl wlo) lor a_of lo)
+        ((b_of hi lsl wlo) lor b_of lo)
+        ((t_of hi lsl wlo) lor t_of lo)
+  | N.Mem_read (m, addr) ->
+      let aa = a_of addr and ab = b_of addr in
+      let arr_a = marr t.mem_a m and arr_b = marr t.mem_b m in
+      let arr_t = marr t.mem_t m in
+      let rd arr i = if i < Array.length arr then arr.(i) else 0 in
+      let data_taint = rd arr_t aa lor rd arr_t ab in
+      let ctrl =
+        Policy.mem_read_ctrl t.mode ~width:w ~addrt:(t_of addr)
+          ~addr_diff:(aa <> ab)
+      in
+      set (rd arr_a aa) (rd arr_b ab) (data_taint lor ctrl)
+
+let eval t = Array.iter (fun s -> eval_cell t s) t.order
+
+let step t =
+  let nl = t.nl in
+  (* Compute all next-state values/taints before committing any of them. *)
+  let reg_next =
+    List.filter_map
+      (fun q ->
+        match N.cell_of nl q with
+        | N.Reg { d = Some d; en; _ } ->
+            let w = N.width_of nl q in
+            let en_a, en_b, ent =
+              match en with
+              | None -> (true, true, 0)
+              | Some e -> (t.va.(idx e) = 1, t.vb.(idx e) = 1, t.ta.(idx e))
+            in
+            let next_a = if en_a then t.va.(idx d) else t.va.(idx q) in
+            let next_b = if en_b then t.vb.(idx d) else t.vb.(idx q) in
+            let dq_xor =
+              t.va.(idx d) lxor t.va.(idx q)
+              lor (t.vb.(idx d) lxor t.vb.(idx q))
+            in
+            let next_t =
+              Policy.reg_en_taint t.mode ~width:w ~en:en_a
+                ~en_diff:(en_a <> en_b) ~ent ~dt:t.ta.(idx d)
+                ~qt:t.ta.(idx q) ~dq_xor
+            in
+            Some (q, next_a, next_b, next_t)
+        | _ -> None)
+      (N.registers nl)
+  in
+  List.iter
+    (fun ((q : N.signal), a, b, tt) ->
+      t.va.(idx q) <- a;
+      t.vb.(idx q) <- b;
+      t.ta.(idx q) <- tt)
+    reg_next;
+  List.iter
+    (fun m ->
+      let w = N.mem_width m in
+      let arr_a = marr t.mem_a m and arr_b = marr t.mem_b m in
+      let arr_t = marr t.mem_t m in
+      List.iter
+        (fun ((wen : N.signal), (addr : N.signal), (data : N.signal)) ->
+          let wen_a = t.va.(idx wen) = 1 and wen_b = t.vb.(idx wen) = 1 in
+          let aa = t.va.(idx addr) and ab = t.vb.(idx addr) in
+          let ctrl =
+            Policy.mem_write_ctrl t.mode ~width:w ~wen:(wen_a || wen_b)
+              ~went:t.ta.(idx wen) ~wen_diff:(wen_a <> wen_b)
+              ~addrt:t.ta.(idx addr) ~addr_diff:(aa <> ab)
+          in
+          let touch i =
+            if i < Array.length arr_t then arr_t.(i) <- arr_t.(i) lor ctrl
+          in
+          if ctrl <> 0 then begin touch aa; touch ab end;
+          if wen_a && aa < Array.length arr_a then begin
+            arr_a.(aa) <- Bits.trunc w t.va.(idx data);
+            arr_t.(aa) <- arr_t.(aa) lor t.ta.(idx data) lor ctrl
+          end;
+          if wen_b && ab < Array.length arr_b then begin
+            arr_b.(ab) <- Bits.trunc w t.vb.(idx data);
+            arr_t.(ab) <- arr_t.(ab) lor t.ta.(idx data) lor ctrl
+          end)
+        (N.mem_writes m))
+    (N.mems nl)
+
+let cycle t =
+  eval t;
+  step t
+
+let tainted_registers t =
+  List.fold_left
+    (fun acc q -> if t.ta.(idx q) <> 0 then acc + 1 else acc)
+    0
+    (N.registers t.nl)
+
+let taint_bit_sum t =
+  let regs =
+    List.fold_left
+      (fun acc q -> acc + Bits.popcount t.ta.(idx q))
+      0
+      (N.registers t.nl)
+  in
+  let mems =
+    List.fold_left
+      (fun acc m ->
+        Array.fold_left (fun a x -> a + Bits.popcount x) acc (marr t.mem_t m))
+      0 (N.mems t.nl)
+  in
+  regs + mems
+
+let tainted_by_module t =
+  let tbl = Hashtbl.create 16 in
+  let bump k n =
+    let cur = try Hashtbl.find tbl k with Not_found -> 0 in
+    Hashtbl.replace tbl k (cur + n)
+  in
+  List.iter
+    (fun q ->
+      if t.ta.(idx q) <> 0 then bump (N.module_of t.nl q) 1
+      else bump (N.module_of t.nl q) 0)
+    (N.registers t.nl);
+  List.iter
+    (fun m ->
+      let tainted_words =
+        Array.fold_left (fun a x -> if x <> 0 then a + 1 else a) 0 (marr t.mem_t m)
+      in
+      bump (N.mem_name m) tainted_words)
+    (N.mems t.nl);
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let clear_taints t =
+  Array.fill t.ta 0 (Array.length t.ta) 0;
+  List.iter
+    (fun m ->
+      let arr = marr t.mem_t m in
+      Array.fill arr 0 (Array.length arr) 0)
+    (N.mems t.nl)

@@ -1,0 +1,31 @@
+type entry = {
+  cycle : int;
+  total : int;
+  tainted_regs : int;
+  per_module : (string * int) list;
+}
+
+type t = { mutable rev_entries : entry list; mutable next_cycle : int }
+
+let create () = { rev_entries = []; next_cycle = 0 }
+
+let record t shadow =
+  let e =
+    { cycle = t.next_cycle;
+      total = Shadow.taint_bit_sum shadow;
+      tainted_regs = Shadow.tainted_registers shadow;
+      per_module = Shadow.tainted_by_module shadow }
+  in
+  t.rev_entries <- e :: t.rev_entries;
+  t.next_cycle <- t.next_cycle + 1
+
+let entries t = List.rev t.rev_entries
+
+let totals t = List.rev_map (fun e -> e.total) t.rev_entries
+
+let length t = t.next_cycle
+
+let max_total t =
+  List.fold_left (fun acc e -> max acc e.total) 0 t.rev_entries
+
+let final t = match t.rev_entries with [] -> None | e :: _ -> Some e

@@ -1,0 +1,33 @@
+(** Per-cycle taint logs.
+
+    The fuzzer consumes the simulation's taint log twice: the total-taint
+    series is the paper's Figure 6 y-axis, and the per-module tainted
+    register counts feed the taint coverage matrix (§4.2.2). *)
+
+type entry = {
+  cycle : int;
+  total : int;  (** tainted bits over registers and memories *)
+  tainted_regs : int;  (** registers with non-zero taint *)
+  per_module : (string * int) list;  (** tainted registers per module tag *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> Shadow.t -> unit
+(** Snapshots the shadow state as the next cycle's entry. *)
+
+val entries : t -> entry list
+(** All entries in chronological order. *)
+
+val totals : t -> int list
+(** Total-taint series, one point per recorded cycle. *)
+
+val length : t -> int
+
+val max_total : t -> int
+(** Peak of the total-taint series; 0 for an empty log. *)
+
+val final : t -> entry option
+(** The most recent entry. *)

@@ -1,0 +1,22 @@
+let max_width = 62
+
+let mask w =
+  if w <= 0 || w > max_width then invalid_arg "Bits.mask: bad width";
+  if w = max_width then -1 lsr (Sys.int_size - max_width) else (1 lsl w) - 1
+
+let trunc w v = v land mask w
+
+let bit v i = (v lsr i) land 1
+
+let replicate w b = if b land 1 = 1 then mask w else 0
+
+let popcount v =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  go 0 v
+
+let spread_up w m =
+  if m = 0 then 0
+  else
+    let lowest = m land -m in
+    (* All bits at or above [lowest], within width [w]. *)
+    mask w land lnot (lowest - 1)

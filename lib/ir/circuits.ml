@@ -1,0 +1,96 @@
+module N = Netlist
+
+type rob = {
+  rob_nl : N.t;
+  enq_valid : N.signal;
+  enq_uopc : N.signal;
+  rollback : N.signal;
+  rollback_idx : N.signal;
+  tail : N.signal;
+  uopc : N.signal array;
+}
+
+let rob ~entries ~uopc_width =
+  let nl = N.create () in
+  N.scoped nl "rob" (fun () ->
+      let idx_w =
+        let rec bits n acc = if n <= 1 then max acc 1 else bits (n / 2) (acc + 1) in
+        bits (entries - 1) 1
+      in
+      let enq_valid = N.input nl ~name:"enq_valid" 1 in
+      let enq_uopc = N.input nl ~name:"enq_uopc" uopc_width in
+      let rollback = N.input nl ~name:"rollback" 1 in
+      let rollback_idx = N.input nl ~name:"rollback_idx" idx_w in
+      let tail = N.reg nl ~name:"rob_tail_idx" idx_w in
+      let one = N.const nl idx_w 1 in
+      let incremented = N.add nl tail one in
+      let after_enq = N.mux nl enq_valid tail incremented in
+      let next_tail = N.mux nl rollback after_enq rollback_idx in
+      N.reg_connect nl tail ~d:next_tail ();
+      let uopc =
+        Array.init entries (fun i ->
+            let q = N.reg nl ~name:(Printf.sprintf "rob_%d_uopc" i) uopc_width in
+            let at_i = N.eq nl tail (N.const nl idx_w i) in
+            let wen = N.and_ nl enq_valid at_i in
+            N.reg_connect nl q ~d:enq_uopc ~en:wen ();
+            q)
+      in
+      { rob_nl = nl; enq_valid; enq_uopc; rollback; rollback_idx; tail; uopc })
+
+type lfb = {
+  lfb_nl : N.t;
+  fill_valid : N.signal;
+  fill_idx : N.signal;
+  fill_data : N.signal;
+  retire : N.signal;
+  retire_idx : N.signal;
+  data : N.signal array;
+  valid : N.signal array;
+}
+
+let lfb ~entries ~data_width =
+  let nl = N.create () in
+  N.scoped nl "lfb" (fun () ->
+      let idx_w =
+        let rec bits n acc = if n <= 1 then max acc 1 else bits (n / 2) (acc + 1) in
+        bits (entries - 1) 1
+      in
+      let fill_valid = N.input nl ~name:"fill_valid" 1 in
+      let fill_idx = N.input nl ~name:"fill_idx" idx_w in
+      let fill_data = N.input nl ~name:"fill_data" data_width in
+      let retire = N.input nl ~name:"retire" 1 in
+      let retire_idx = N.input nl ~name:"retire_idx" idx_w in
+      let zero1 = N.const nl 1 0 in
+      let one1 = N.const nl 1 1 in
+      let data = Array.make entries (fill_data) in
+      let valid = Array.make entries (fill_valid) in
+      for i = 0 to entries - 1 do
+        let d = N.reg nl ~name:(Printf.sprintf "lb_%d" i) data_width in
+        let fill_here =
+          N.and_ nl fill_valid (N.eq nl fill_idx (N.const nl idx_w i))
+        in
+        (* The data word is only overwritten by a new fill; retire leaves it. *)
+        N.reg_connect nl d ~d:fill_data ~en:fill_here ();
+        data.(i) <- d;
+        let v = N.reg nl ~name:(Printf.sprintf "mshr_valid_%d" i) 1 in
+        let retire_here =
+          N.and_ nl retire (N.eq nl retire_idx (N.const nl idx_w i))
+        in
+        let v_after_fill = N.mux nl fill_here v one1 in
+        let v_next = N.mux nl retire_here v_after_fill zero1 in
+        N.reg_connect nl v ~d:v_next ();
+        valid.(i) <- v
+      done;
+      { lfb_nl = nl; fill_valid; fill_idx; fill_data; retire; retire_idx;
+        data; valid })
+
+type counter = { cnt_nl : N.t; cnt_en : N.signal; cnt_q : N.signal }
+
+let counter ~width =
+  let nl = N.create () in
+  N.scoped nl "counter" (fun () ->
+      let en = N.input nl ~name:"en" 1 in
+      let q = N.reg nl ~name:"q" width in
+      let next = N.add nl q (N.const nl width 1) in
+      N.reg_connect nl q ~d:next ~en ();
+      { cnt_nl = nl; cnt_en = en; cnt_q = q })

@@ -1,0 +1,47 @@
+(** Demo netlists used by tests, examples and micro-benchmarks.
+
+    {!rob} reconstructs the BOOM Reorder-Buffer entry-update circuit of the
+    paper's Figure 2, the canonical example of control-flow over-tainting:
+    once the tail pointer is tainted, CellIFT's Policy 2 taints every entry
+    field register on rollback, while diffIFT only propagates when the two
+    DUT instances actually select differently. *)
+
+type rob = {
+  rob_nl : Netlist.t;
+  enq_valid : Netlist.signal;   (** input: a micro-op is enqueued this cycle *)
+  enq_uopc : Netlist.signal;    (** input: opcode of the enqueued micro-op *)
+  rollback : Netlist.signal;    (** input: roll the tail pointer back *)
+  rollback_idx : Netlist.signal;(** input: tail value restored on rollback *)
+  tail : Netlist.signal;        (** register: current tail pointer *)
+  uopc : Netlist.signal array;  (** registers: per-entry opcode fields *)
+}
+
+val rob : entries:int -> uopc_width:int -> rob
+(** Builds the Figure 2 circuit with [entries] RoB entries.  The tail
+    pointer increments on enqueue and is overwritten by [rollback_idx] when
+    [rollback] is high, exactly the update network described in §2.2. *)
+
+type lfb = {
+  lfb_nl : Netlist.t;
+  fill_valid : Netlist.signal;  (** input: a cache-line refill arrives *)
+  fill_idx : Netlist.signal;    (** input: which buffer slot is filled *)
+  fill_data : Netlist.signal;   (** input: refill data (potentially secret) *)
+  retire : Netlist.signal;      (** input: MSHR releases the slot *)
+  retire_idx : Netlist.signal;  (** input: which slot is released *)
+  data : Netlist.signal array;  (** registers: per-slot line data *)
+  valid : Netlist.signal array; (** registers: per-slot MSHR valid bits *)
+}
+
+val lfb : entries:int -> data_width:int -> lfb
+(** Builds the Line-Fill-Buffer / MSHR circuit of §3.1 (C2-2): on retire the
+    MSHR clears the valid bit but leaves the stale data word in place, the
+    pattern that misleads value-matching and hash-based oracles. *)
+
+type counter = {
+  cnt_nl : Netlist.t;
+  cnt_en : Netlist.signal;
+  cnt_q : Netlist.signal;
+}
+
+val counter : width:int -> counter
+(** A free-running counter with enable; smoke-test circuit. *)

@@ -1,0 +1,116 @@
+module N = Netlist
+
+type t = {
+  nl : N.t;
+  values : int array;
+  mem_data : (string, int array) Hashtbl.t;
+  order : N.signal array;
+}
+
+let mem_key m = N.mem_name m
+
+let create nl =
+  let order = N.topo_order nl in
+  List.iter
+    (fun q ->
+      match N.cell_of nl q with
+      | N.Reg { d = None; _ } ->
+          failwith ("Sim.create: unconnected register " ^ N.name_of nl q)
+      | _ -> ())
+    (N.registers nl);
+  let values = Array.make (N.num_signals nl) 0 in
+  (* Registers start at their init value; constants are fixed. *)
+  for i = 0 to N.num_signals nl - 1 do
+    let s = N.signal_of_int nl i in
+    match N.cell_of nl s with
+    | N.Reg r -> values.(i) <- r.N.init
+    | N.Const v -> values.(i) <- v
+    | _ -> ()
+  done;
+  let mem_data = Hashtbl.create 8 in
+  List.iter
+    (fun m -> Hashtbl.replace mem_data (mem_key m) (Array.make (N.mem_depth m) 0))
+    (N.mems nl);
+  { nl; values; mem_data; order }
+
+let netlist t = t.nl
+
+let set_input t s v =
+  match N.cell_of t.nl s with
+  | N.Input -> t.values.((s :> int)) <- Bits.trunc (N.width_of t.nl s) v
+  | _ -> invalid_arg "Sim.set_input: not an input"
+
+let peek t (s : N.signal) = t.values.((s :> int))
+
+let mem_array t m = Hashtbl.find t.mem_data (mem_key m)
+
+let peek_mem t m i = (mem_array t m).(i)
+let poke_mem t m i v = (mem_array t m).(i) <- Bits.trunc (N.mem_width m) v
+
+let poke_reg t s v =
+  match N.cell_of t.nl s with
+  | N.Reg _ -> t.values.((s :> int)) <- Bits.trunc (N.width_of t.nl s) v
+  | _ -> invalid_arg "Sim.poke_reg: not a register"
+
+let eval_cell t s =
+  let v = t.values in
+  let w = N.width_of t.nl s in
+  let r =
+    match N.cell_of t.nl s with
+    | N.Input | N.Const _ | N.Reg _ -> v.((s :> int))
+    | N.Not a -> lnot v.((a :> int))
+    | N.And (a, b) -> v.((a :> int)) land v.((b :> int))
+    | N.Or (a, b) -> v.((a :> int)) lor v.((b :> int))
+    | N.Xor (a, b) -> v.((a :> int)) lxor v.((b :> int))
+    | N.Mux (s', a, b) -> if v.((s' :> int)) = 1 then v.((b :> int)) else v.((a :> int))
+    | N.Eq (a, b) -> if v.((a :> int)) = v.((b :> int)) then 1 else 0
+    | N.Lt (a, b) -> if v.((a :> int)) < v.((b :> int)) then 1 else 0
+    | N.Add (a, b) -> v.((a :> int)) + v.((b :> int))
+    | N.Sub (a, b) -> v.((a :> int)) - v.((b :> int))
+    | N.Shl (a, n) -> v.((a :> int)) lsl n
+    | N.Shr (a, n) -> v.((a :> int)) lsr n
+    | N.Slice (a, lo) -> v.((a :> int)) lsr lo
+    | N.Concat (hi, lo) ->
+        let wlo = N.width_of t.nl lo in
+        (v.((hi :> int)) lsl wlo) lor v.((lo :> int))
+    | N.Mem_read (m, addr) ->
+        let arr = mem_array t m in
+        let a = v.((addr :> int)) in
+        if a < Array.length arr then arr.(a) else 0
+  in
+  v.((s :> int)) <- Bits.trunc w r
+
+let eval t = Array.iter (fun s -> eval_cell t s) t.order
+
+let step t =
+  (* Latch all registers from their (already evaluated) D inputs. *)
+  let next =
+    List.filter_map
+      (fun q ->
+        match N.cell_of t.nl q with
+        | N.Reg { d = Some d; en; _ } ->
+            let enabled =
+              match en with None -> true | Some e -> t.values.((e :> int)) = 1
+            in
+            if enabled then Some (q, t.values.((d :> int))) else None
+        | _ -> None)
+      (N.registers t.nl)
+  in
+  List.iter (fun ((q : N.signal), v) -> t.values.((q :> int)) <- v) next;
+  (* Commit memory writes; later-declared ports win on address conflicts. *)
+  List.iter
+    (fun m ->
+      let arr = mem_array t m in
+      List.iter
+        (fun ((wen : N.signal), (addr : N.signal), (data : N.signal)) ->
+          if t.values.((wen :> int)) = 1 then begin
+            let a = t.values.((addr :> int)) in
+            if a < Array.length arr then
+              arr.(a) <- Bits.trunc (N.mem_width m) t.values.((data :> int))
+          end)
+        (N.mem_writes m))
+    (N.mems t.nl)
+
+let cycle t =
+  eval t;
+  step t

@@ -1,0 +1,40 @@
+(** Cycle-accurate simulation of a {!Netlist}.
+
+    Evaluation is two-phase, like an RTL simulator: {!eval} settles all
+    combinational signals from the current register/memory/input state, and
+    {!step} advances the clock (registers latch, memory writes commit).
+    A typical cycle is: set inputs, [eval], observe outputs, [step]. *)
+
+type t
+
+val create : Netlist.t -> t
+(** Builds a simulator; registers take their [init] values and memories are
+    zero-filled.  Raises [Failure] if the netlist has a combinational cycle
+    or an unconnected register. *)
+
+val netlist : t -> Netlist.t
+
+val set_input : t -> Netlist.signal -> int -> unit
+(** [set_input t s v] drives primary input [s] with [v] (truncated to the
+    signal width).  Raises [Invalid_argument] if [s] is not an input. *)
+
+val eval : t -> unit
+(** Settles all combinational signals. *)
+
+val step : t -> unit
+(** Clock edge: latch registers, commit memory writes.  Must follow {!eval}. *)
+
+val cycle : t -> unit
+(** [eval] then [step]. *)
+
+val peek : t -> Netlist.signal -> int
+(** Current value of a signal (valid after {!eval} for combinational ones). *)
+
+val peek_mem : t -> Netlist.mem -> int -> int
+(** [peek_mem t m i] reads memory word [i] directly. *)
+
+val poke_mem : t -> Netlist.mem -> int -> int -> unit
+(** [poke_mem t m i v] backdoor-writes memory word [i]. *)
+
+val poke_reg : t -> Netlist.signal -> int -> unit
+(** Backdoor-writes a register's current output value. *)

@@ -1,0 +1,70 @@
+type item =
+  | I of Insn.t
+  | L of string
+  | Branch_to of Insn.cond * Reg.t * Reg.t * string
+  | Jal_to of Reg.t * string
+  | Raw of int
+  | La of Reg.t * string
+
+type program = item list
+
+let item_bytes = function
+  | L _ -> 0
+  | La _ -> 8
+  | I _ | Branch_to _ | Jal_to _ | Raw _ -> 4
+
+let size_bytes p = List.fold_left (fun acc i -> acc + item_bytes i) 0 p
+
+let collect_labels ~base p =
+  let tbl = Hashtbl.create 16 in
+  let addr = ref base in
+  List.iter
+    (fun item ->
+      (match item with
+      | L name ->
+          if Hashtbl.mem tbl name then failwith ("Asm: duplicate label " ^ name);
+          Hashtbl.replace tbl name !addr
+      | _ -> ());
+      addr := !addr + item_bytes item)
+    p;
+  tbl
+
+let assemble ~base p =
+  let labels = collect_labels ~base p in
+  let resolve name =
+    match Hashtbl.find_opt labels name with
+    | Some a -> a
+    | None -> failwith ("Asm: undefined label " ^ name)
+  in
+  let words = ref [] in
+  let emit i = words := Encode.encode i :: !words in
+  let addr = ref base in
+  List.iter
+    (fun item ->
+      (match item with
+      | L _ -> ()
+      | I i -> emit i
+      | Raw w -> words := w land 0xFFFFFFFF :: !words
+      | Branch_to (c, rs1, rs2, name) ->
+          emit (Insn.Branch (c, rs1, rs2, resolve name - !addr))
+      | Jal_to (rd, name) -> emit (Insn.Jal (rd, resolve name - !addr))
+      | La (rd, name) ->
+          (* auipc rd, hi20 ; addi rd, rd, lo12 — pc-relative address load *)
+          let target = resolve name in
+          let delta = target - !addr in
+          let lo = ((delta + 2048) land 0xFFF) - 2048 in
+          let hi = (delta - lo) asr 12 in
+          if hi < 0 || hi >= 1 lsl 20 then failwith "Asm: la target out of range";
+          emit (Insn.Auipc (rd, hi));
+          emit (Insn.Opi (Insn.Addi, rd, rd, lo)));
+      addr := !addr + item_bytes item)
+    p;
+  let label_list =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [])
+  in
+  (Array.of_list (List.rev !words), label_list)
+
+let label_addr map name =
+  match List.assoc_opt name map with
+  | Some a -> a
+  | None -> failwith ("Asm: unknown label " ^ name)

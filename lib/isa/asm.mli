@@ -1,0 +1,29 @@
+(** A small two-pass assembler.
+
+    Programs are lists of items: instructions, labels, label-targeted
+    control flow, and raw words.  {!assemble} resolves labels against a base
+    address and emits the instruction words.  Used by tests, examples and
+    the hand-written attack test cases of the Table 4 / Figure 6 benchmark
+    suite; the fuzzer itself generates position-explicit instructions. *)
+
+type item =
+  | I of Insn.t                  (** a concrete instruction *)
+  | L of string                  (** a label at the current address *)
+  | Branch_to of Insn.cond * Reg.t * Reg.t * string
+  | Jal_to of Reg.t * string
+  | Raw of int                   (** a raw 32-bit word *)
+  | La of Reg.t * string
+      (** load a label's absolute address: expands to [auipc] + [addi] *)
+
+type program = item list
+
+val size_bytes : program -> int
+(** Assembled size in bytes ([La] occupies 8). *)
+
+val assemble : base:int -> program -> int array * (string * int) list
+(** [assemble ~base p] returns the instruction words and the resolved label
+    addresses.  Raises [Failure] on undefined or duplicate labels, or when
+    a resolved offset does not fit its encoding. *)
+
+val label_addr : (string * int) list -> string -> int
+(** Looks a label up in the returned map.  Raises [Failure] if missing. *)

@@ -1,0 +1,213 @@
+let reg_names =
+  [ ("zero", 0); ("ra", 1); ("sp", 2); ("gp", 3); ("tp", 4); ("t0", 5);
+    ("t1", 6); ("t2", 7); ("s0", 8); ("fp", 8); ("s1", 9); ("a0", 10);
+    ("a1", 11); ("a2", 12); ("a3", 13); ("a4", 14); ("a5", 15); ("a6", 16);
+    ("a7", 17); ("s2", 18); ("s3", 19); ("s4", 20); ("s5", 21); ("s6", 22);
+    ("s7", 23); ("s8", 24); ("s9", 25); ("s10", 26); ("s11", 27); ("t3", 28);
+    ("t4", 29); ("t5", 30); ("t6", 31) ]
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let parse_reg tok =
+  match List.assoc_opt tok reg_names with
+  | Some n -> Reg.x n
+  | None ->
+      if String.length tok >= 2 && tok.[0] = 'x' then
+        match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+        | Some n when n >= 0 && n <= 31 -> Reg.x n
+        | _ -> fail "bad register %s" tok
+      else fail "bad register %s" tok
+
+let parse_imm tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> fail "bad immediate %s" tok
+
+(* [imm(base)] operands of loads/stores. *)
+let parse_mem_operand tok =
+  match String.index_opt tok '(' with
+  | Some i when String.length tok > 0 && tok.[String.length tok - 1] = ')' ->
+      let imm_s = String.sub tok 0 i in
+      let reg_s = String.sub tok (i + 1) (String.length tok - i - 2) in
+      let imm = if imm_s = "" then 0 else parse_imm imm_s in
+      (imm, parse_reg reg_s)
+  | _ -> fail "bad memory operand %s (expected imm(reg))" tok
+
+let is_label_target tok =
+  String.length tok > 0
+  && (match tok.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | '.' -> true | _ -> false)
+  && int_of_string_opt tok = None
+
+let split_operands rest =
+  String.split_on_char ',' rest
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  let cut sep l =
+    match Stdlib.String.index_opt l sep with
+    | Some i when sep = '#' -> String.sub l 0 i
+    | _ -> (
+        (* handle "//" *)
+        let rec find i =
+          if i + 1 >= String.length l then l
+          else if l.[i] = '/' && l.[i + 1] = '/' then String.sub l 0 i
+          else find (i + 1)
+        in
+        find 0)
+  in
+  cut '/' (cut '#' line)
+
+let ops_table =
+  [ ("add", Insn.Add); ("sub", Insn.Sub); ("and", Insn.And); ("or", Insn.Or);
+    ("xor", Insn.Xor); ("sll", Insn.Sll); ("srl", Insn.Srl);
+    ("sra", Insn.Sra); ("slt", Insn.Slt); ("sltu", Insn.Sltu);
+    ("mul", Insn.Mul); ("div", Insn.Div) ]
+
+let opis_table =
+  [ ("addi", Insn.Addi); ("andi", Insn.Andi); ("ori", Insn.Ori);
+    ("xori", Insn.Xori); ("slli", Insn.Slli); ("srli", Insn.Srli);
+    ("srai", Insn.Srai); ("slti", Insn.Slti); ("sltiu", Insn.Sltiu) ]
+
+let loads_table =
+  [ ("lb", (Insn.B, false)); ("lh", (Insn.H, false)); ("lw", (Insn.W, false));
+    ("ld", (Insn.D, false)); ("lbu", (Insn.B, true)); ("lhu", (Insn.H, true));
+    ("lwu", (Insn.W, true)) ]
+
+let stores_table =
+  [ ("sb", Insn.B); ("sh", Insn.H); ("sw", Insn.W); ("sd", Insn.D) ]
+
+let conds_table =
+  [ ("beq", Insn.Eq); ("bne", Insn.Ne); ("blt", Insn.Lt); ("bge", Insn.Ge);
+    ("bltu", Insn.Ltu); ("bgeu", Insn.Geu) ]
+
+let parse_line line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then []
+  else if String.length line > 1 && line.[String.length line - 1] = ':' then
+    [ Asm.L (String.sub line 0 (String.length line - 1)) ]
+  else begin
+    let mnemonic, rest =
+      match String.index_opt line ' ' with
+      | None -> (line, "")
+      | Some i ->
+          ( String.sub line 0 i,
+            String.sub line i (String.length line - i) )
+    in
+    let mnemonic = String.lowercase_ascii (String.trim mnemonic) in
+    let args = split_operands rest in
+    let arity n =
+      if List.length args <> n then
+        fail "%s expects %d operands, got %d" mnemonic n (List.length args)
+    in
+    let arg i = List.nth args i in
+    match mnemonic with
+    | "nop" -> arity 0; [ Asm.I Insn.nop ]
+    | "ebreak" -> arity 0; [ Asm.I Insn.Ebreak ]
+    | "ecall" -> arity 0; [ Asm.I Insn.Ecall ]
+    | "mret" -> arity 0; [ Asm.I Insn.Mret ]
+    | "fence.i" -> arity 0; [ Asm.I Insn.Fence_i ]
+    | ".word" -> arity 1; [ Asm.Raw (parse_imm (arg 0)) ]
+    | "lui" ->
+        arity 2;
+        [ Asm.I (Insn.Lui (parse_reg (arg 0), parse_imm (arg 1))) ]
+    | "auipc" ->
+        arity 2;
+        [ Asm.I (Insn.Auipc (parse_reg (arg 0), parse_imm (arg 1))) ]
+    | "la" ->
+        arity 2;
+        [ Asm.La (parse_reg (arg 0), arg 1) ]
+    | "li" ->
+        (* li expands to addi-from-zero for 12-bit immediates *)
+        arity 2;
+        let v = parse_imm (arg 1) in
+        if Encode.fits_imm12 v then
+          [ Asm.I (Insn.Opi (Insn.Addi, parse_reg (arg 0), Reg.zero, v)) ]
+        else fail "li immediate out of range (use lui/addi)"
+    | "jal" -> (
+        arity 2;
+        let rd = parse_reg (arg 0) in
+        if is_label_target (arg 1) then [ Asm.Jal_to (rd, arg 1) ]
+        else [ Asm.I (Insn.Jal (rd, parse_imm (arg 1))) ])
+    | "j" ->
+        arity 1;
+        if is_label_target (arg 0) then [ Asm.Jal_to (Reg.zero, arg 0) ]
+        else [ Asm.I (Insn.Jal (Reg.zero, parse_imm (arg 0))) ]
+    | "jalr" ->
+        arity 2;
+        let rd = parse_reg (arg 0) in
+        let imm, base = parse_mem_operand (arg 1) in
+        [ Asm.I (Insn.Jalr (rd, base, imm)) ]
+    | "ret" -> arity 0; [ Asm.I (Insn.Jalr (Reg.zero, Reg.ra, 0)) ]
+    | "csrrw" | "csrrs" | "csrrc" ->
+        arity 3;
+        let op =
+          match mnemonic with
+          | "csrrw" -> Insn.Csrrw
+          | "csrrs" -> Insn.Csrrs
+          | _ -> Insn.Csrrc
+        in
+        let csr =
+          match arg 1 with
+          | "mepc" -> Insn.Mepc
+          | "mcause" -> Insn.Mcause
+          | "mtvec" -> Insn.Mtvec
+          | "mtval" -> Insn.Mtval
+          | "mscratch" -> Insn.Mscratch
+          | c -> fail "unknown CSR %s" c
+        in
+        [ Asm.I (Insn.Csr (op, parse_reg (arg 0), csr, parse_reg (arg 2))) ]
+    | "fdiv" | "fdiv.d" ->
+        arity 3;
+        [ Asm.I
+            (Insn.Fdiv (parse_reg (arg 0), parse_reg (arg 1), parse_reg (arg 2)))
+        ]
+    | m when List.mem_assoc m ops_table ->
+        arity 3;
+        [ Asm.I
+            (Insn.Op
+               ( List.assoc m ops_table, parse_reg (arg 0), parse_reg (arg 1),
+                 parse_reg (arg 2) )) ]
+    | m when List.mem_assoc m opis_table ->
+        arity 3;
+        [ Asm.I
+            (Insn.Opi
+               ( List.assoc m opis_table, parse_reg (arg 0),
+                 parse_reg (arg 1), parse_imm (arg 2) )) ]
+    | m when List.mem_assoc m loads_table ->
+        arity 2;
+        let width, unsigned = List.assoc m loads_table in
+        let imm, base = parse_mem_operand (arg 1) in
+        [ Asm.I (Insn.Load (width, unsigned, parse_reg (arg 0), base, imm)) ]
+    | m when List.mem_assoc m stores_table ->
+        arity 2;
+        let imm, base = parse_mem_operand (arg 1) in
+        [ Asm.I (Insn.Store (List.assoc m stores_table, parse_reg (arg 0), base, imm)) ]
+    | m when List.mem_assoc m conds_table ->
+        arity 3;
+        let cond = List.assoc m conds_table in
+        let rs1 = parse_reg (arg 0) and rs2 = parse_reg (arg 1) in
+        if is_label_target (arg 2) then [ Asm.Branch_to (cond, rs1, rs2, arg 2) ]
+        else [ Asm.I (Insn.Branch (cond, rs1, rs2, parse_imm (arg 2))) ]
+    | m -> fail "unknown mnemonic %s" m
+  end
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  try
+    Ok
+      (List.concat
+         (List.mapi
+            (fun i line ->
+              try parse_line line
+              with Parse_error m ->
+                raise (Parse_error (Printf.sprintf "line %d: %s" (i + 1) m)))
+            lines))
+  with Parse_error m -> Error m
+
+let parse_exn source =
+  match parse source with Ok p -> p | Error m -> failwith ("Asm_parser: " ^ m)
+
+let assemble_string ~base source = Asm.assemble ~base (parse_exn source)

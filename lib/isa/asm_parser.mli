@@ -1,0 +1,31 @@
+(** Text front-end for the assembler.
+
+    Parses a small, GNU-as-flavoured subset into an {!Asm.program}:
+
+    {v
+    start:
+        addi  t0, zero, 5
+        la    a0, data          # pc-relative address load
+        ld    t1, 8(a0)
+        beq   t0, t1, done      # label or numeric byte offset
+        jal   ra, start
+        fence.i
+        .word 0xdeadbeef
+    done:
+        ebreak
+    data:
+    v}
+
+    Registers accept ABI names ([zero ra sp gp tp t0-t2 s0 s1 a0-a7]) and
+    numeric names ([x0]..[x31]).  Immediates are decimal or [0x]-hex,
+    optionally negative.  Comments start with [#] or [//]. *)
+
+val parse : string -> (Asm.program, string) result
+(** [parse source] parses a whole listing; the error string carries the
+    offending line number and text. *)
+
+val parse_exn : string -> Asm.program
+(** Like {!parse}, raising [Failure] on error. *)
+
+val assemble_string : base:int -> string -> int array * (string * int) list
+(** [assemble_string ~base src] parses and assembles in one step. *)

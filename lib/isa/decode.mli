@@ -1,0 +1,6 @@
+(** RV64 instruction decoding — the inverse of {!Encode} on the supported
+    subset.  Words outside the subset decode to [Insn.Illegal raw], which is
+    exactly how the microarchitectural model treats them. *)
+
+val decode : int -> Insn.t
+(** [decode word] decodes the low 32 bits of [word]. *)

@@ -1,0 +1,129 @@
+let fits_imm12 v = v >= -2048 && v < 2048
+let fits_branch v = v >= -4096 && v < 4096 && v land 1 = 0
+let fits_jal v = v >= -1048576 && v < 1048576 && v land 1 = 0
+
+let check cond what = if not cond then invalid_arg ("Encode: bad " ^ what)
+
+let r reg = Reg.to_int reg
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  (funct7 lsl 25) lor (r rs2 lsl 20) lor (r rs1 lsl 15) lor (funct3 lsl 12)
+  lor (r rd lsl 7) lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode =
+  check (fits_imm12 imm) "imm12";
+  ((imm land 0xFFF) lsl 20) lor (r rs1 lsl 15) lor (funct3 lsl 12)
+  lor (r rd lsl 7) lor opcode
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode =
+  check (fits_imm12 imm) "imm12";
+  let imm = imm land 0xFFF in
+  ((imm lsr 5) lsl 25) lor (r rs2 lsl 20) lor (r rs1 lsl 15)
+  lor (funct3 lsl 12)
+  lor ((imm land 0x1F) lsl 7)
+  lor opcode
+
+let b_type ~off ~rs2 ~rs1 ~funct3 ~opcode =
+  check (fits_branch off) "branch offset";
+  let imm = off land 0x1FFF in
+  let b12 = (imm lsr 12) land 1
+  and b11 = (imm lsr 11) land 1
+  and b10_5 = (imm lsr 5) land 0x3F
+  and b4_1 = (imm lsr 1) land 0xF in
+  (b12 lsl 31) lor (b10_5 lsl 25) lor (r rs2 lsl 20) lor (r rs1 lsl 15)
+  lor (funct3 lsl 12) lor (b4_1 lsl 8) lor (b11 lsl 7) lor opcode
+
+let u_type ~imm20 ~rd ~opcode =
+  check (imm20 >= 0 && imm20 < 1 lsl 20) "imm20";
+  (imm20 lsl 12) lor (r rd lsl 7) lor opcode
+
+let j_type ~off ~rd ~opcode =
+  check (fits_jal off) "jal offset";
+  let imm = off land 0x1FFFFF in
+  let b20 = (imm lsr 20) land 1
+  and b19_12 = (imm lsr 12) land 0xFF
+  and b11 = (imm lsr 11) land 1
+  and b10_1 = (imm lsr 1) land 0x3FF in
+  (b20 lsl 31) lor (b10_1 lsl 21) lor (b11 lsl 20) lor (b19_12 lsl 12)
+  lor (r rd lsl 7) lor opcode
+
+let op_funct = function
+  | Insn.Add -> (0b0000000, 0b000)
+  | Insn.Sub -> (0b0100000, 0b000)
+  | Insn.Sll -> (0b0000000, 0b001)
+  | Insn.Slt -> (0b0000000, 0b010)
+  | Insn.Sltu -> (0b0000000, 0b011)
+  | Insn.Xor -> (0b0000000, 0b100)
+  | Insn.Srl -> (0b0000000, 0b101)
+  | Insn.Sra -> (0b0100000, 0b101)
+  | Insn.Or -> (0b0000000, 0b110)
+  | Insn.And -> (0b0000000, 0b111)
+  | Insn.Mul -> (0b0000001, 0b000)
+  | Insn.Div -> (0b0000001, 0b100)
+
+let opi_funct3 = function
+  | Insn.Addi -> 0b000
+  | Insn.Slti -> 0b010
+  | Insn.Sltiu -> 0b011
+  | Insn.Xori -> 0b100
+  | Insn.Ori -> 0b110
+  | Insn.Andi -> 0b111
+  | Insn.Slli -> 0b001
+  | Insn.Srli -> 0b101
+  | Insn.Srai -> 0b101
+
+let load_funct3 w unsigned =
+  match (w, unsigned) with
+  | Insn.B, false -> 0b000
+  | Insn.H, false -> 0b001
+  | Insn.W, false -> 0b010
+  | Insn.D, _ -> 0b011
+  | Insn.B, true -> 0b100
+  | Insn.H, true -> 0b101
+  | Insn.W, true -> 0b110
+
+let store_funct3 = function Insn.B -> 0b000 | Insn.H -> 0b001 | Insn.W -> 0b010 | Insn.D -> 0b011
+
+let cond_funct3 = function
+  | Insn.Eq -> 0b000
+  | Insn.Ne -> 0b001
+  | Insn.Lt -> 0b100
+  | Insn.Ge -> 0b101
+  | Insn.Ltu -> 0b110
+  | Insn.Geu -> 0b111
+
+let encode = function
+  | Insn.Lui (rd, imm20) -> u_type ~imm20 ~rd ~opcode:0b0110111
+  | Insn.Auipc (rd, imm20) -> u_type ~imm20 ~rd ~opcode:0b0010111
+  | Insn.Op (o, rd, rs1, rs2) ->
+      let funct7, funct3 = op_funct o in
+      r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode:0b0110011
+  | Insn.Opi ((Insn.Slli | Insn.Srli | Insn.Srai) as o, rd, rs1, shamt) ->
+      check (shamt >= 0 && shamt < 64) "shamt";
+      let hi = if o = Insn.Srai then 0b010000 lsl 6 else 0 in
+      i_type ~imm:0 ~rs1 ~funct3:(opi_funct3 o) ~rd ~opcode:0b0010011
+      lor ((hi lor shamt) lsl 20)
+  | Insn.Opi (o, rd, rs1, imm) ->
+      i_type ~imm ~rs1 ~funct3:(opi_funct3 o) ~rd ~opcode:0b0010011
+  | Insn.Load (w, u, rd, rs1, imm) ->
+      i_type ~imm ~rs1 ~funct3:(load_funct3 w u) ~rd ~opcode:0b0000011
+  | Insn.Store (w, rs2, rs1, imm) ->
+      s_type ~imm ~rs2 ~rs1 ~funct3:(store_funct3 w) ~opcode:0b0100011
+  | Insn.Branch (c, rs1, rs2, off) ->
+      b_type ~off ~rs2 ~rs1 ~funct3:(cond_funct3 c) ~opcode:0b1100011
+  | Insn.Jal (rd, off) -> j_type ~off ~rd ~opcode:0b1101111
+  | Insn.Jalr (rd, rs1, imm) ->
+      i_type ~imm ~rs1 ~funct3:0b000 ~rd ~opcode:0b1100111
+  | Insn.Fdiv (rd, rs1, rs2) ->
+      r_type ~funct7:0b0001101 ~rs2 ~rs1 ~funct3:0b111 ~rd ~opcode:0b1010011
+  | Insn.Csr (op, rd, csr, rs1) ->
+      let funct3 =
+        match op with Insn.Csrrw -> 0b001 | Insn.Csrrs -> 0b010 | Insn.Csrrc -> 0b011
+      in
+      (Insn.csr_addr csr lsl 20) lor (r rs1 lsl 15) lor (funct3 lsl 12)
+      lor (r rd lsl 7) lor 0b1110011
+  | Insn.Fence_i -> (0b001 lsl 12) lor 0b0001111
+  | Insn.Ecall -> 0b1110011
+  | Insn.Ebreak -> (1 lsl 20) lor 0b1110011
+  | Insn.Mret -> (0b001100000010 lsl 20) lor 0b1110011
+  | Insn.Illegal raw -> raw land 0xFFFFFFFF

@@ -1,0 +1,44 @@
+(* Shift amounts use the low 6 bits of the operand, as on RV64. *)
+let shamt v = v land 63
+
+let flip x = x lxor min_int
+
+let alu op a b =
+  match op with
+  | Insn.Add -> a + b
+  | Insn.Sub -> a - b
+  | Insn.And -> a land b
+  | Insn.Or -> a lor b
+  | Insn.Xor -> a lxor b
+  | Insn.Sll -> a lsl shamt b
+  | Insn.Srl -> a lsr shamt b
+  | Insn.Sra -> a asr shamt b
+  | Insn.Slt -> if a < b then 1 else 0
+  | Insn.Sltu -> if flip a < flip b then 1 else 0
+  | Insn.Mul -> a * b
+  | Insn.Div -> if b = 0 then -1 else a / b
+
+let alui op a imm =
+  match op with
+  | Insn.Addi -> a + imm
+  | Insn.Andi -> a land imm
+  | Insn.Ori -> a lor imm
+  | Insn.Xori -> a lxor imm
+  | Insn.Slli -> a lsl shamt imm
+  | Insn.Srli -> a lsr shamt imm
+  | Insn.Srai -> a asr shamt imm
+  | Insn.Slti -> if a < imm then 1 else 0
+  | Insn.Sltiu -> if flip a < flip imm then 1 else 0
+
+let cond_holds c a b =
+  match c with
+  | Insn.Eq -> a = b
+  | Insn.Ne -> a <> b
+  | Insn.Lt -> a < b
+  | Insn.Ge -> a >= b
+  | Insn.Ltu -> flip a < flip b
+  | Insn.Geu -> flip a >= flip b
+
+let sign_extend bits v =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift

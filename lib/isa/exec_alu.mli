@@ -1,0 +1,10 @@
+(** Pure ALU semantics shared by the architectural golden model and the
+    speculative datapath of the microarchitectural core model — the two must
+    compute identically or "transient" differences would be artifacts. *)
+
+val alu : Insn.op -> int -> int -> int
+val alui : Insn.opi -> int -> int -> int
+val cond_holds : Insn.cond -> int -> int -> bool
+
+val sign_extend : int -> int -> int
+(** [sign_extend bits v] sign-extends the low [bits] of [v]. *)

@@ -1,0 +1,59 @@
+(** Architectural golden-model simulator.
+
+    Executes the {!Insn} subset against a caller-supplied memory, modelling
+    the architecturally visible machine only: register file, pc, privilege
+    level and the machine-mode trap CSRs.  The fuzzer uses it as the ISA
+    simulator of §4.1.1 — computing the operands a transient window needs,
+    predicting architectural control flow, and classifying exceptions —
+    and the microarchitectural model uses it as the per-instruction
+    executive.
+
+    Values are OCaml native ints (63-bit); the model is faithful for the
+    sub-2^62 address space and data ranges the fuzzer generates, which is
+    all the paper's trigger classes require. *)
+
+type priv = User | Machine
+
+type memory = {
+  load : priv:priv -> addr:int -> size:int -> (int, Trap.cause) result;
+  store : priv:priv -> addr:int -> size:int -> value:int -> (unit, Trap.cause) result;
+  fetch : priv:priv -> addr:int -> (int, Trap.cause) result;
+      (** returns the raw 32-bit instruction word *)
+}
+
+type t
+
+val create : ?pc:int -> ?priv:priv -> ?mtvec:int -> memory -> t
+
+val pc : t -> int
+val priv : t -> priv
+val reg : t -> Reg.t -> int
+val set_reg : t -> Reg.t -> int -> unit
+val set_pc : t -> int -> unit
+val set_priv : t -> priv -> unit
+val mepc : t -> int
+val mcause : t -> int
+val set_mtvec : t -> int -> unit
+val copy : t -> t
+(** Snapshot of the architectural state sharing the same memory. *)
+
+(** What one instruction did, as observed architecturally. *)
+type step = {
+  s_pc : int;                    (** address of the executed instruction *)
+  s_insn : Insn.t;
+  s_next_pc : int;               (** pc after the instruction (post-trap) *)
+  s_trap : Trap.cause option;    (** exception raised, if any *)
+  s_taken : bool option;         (** branch outcome for [Branch] *)
+  s_target : int option;         (** control-flow target actually taken *)
+  s_mem_addr : int option;       (** effective address of a load/store *)
+  s_loaded : int option;         (** value a load read *)
+}
+
+val step : t -> step
+(** Executes one instruction.  On a trap the CSRs are updated and control
+    transfers to [mtvec] (exactly once — a trap inside the handler while in
+    machine mode halts via [Failure], which indicates a broken stimulus). *)
+
+val run : t -> ?fuel:int -> stop:(t -> bool) -> unit -> step list
+(** [run t ~stop ()] steps until [stop t] holds or [fuel] (default 10_000)
+    instructions have executed; returns the trace in execution order. *)

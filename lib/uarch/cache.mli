@@ -1,0 +1,50 @@
+(** Direct-mapped caches and the line-fill buffer.
+
+    The cache tracks tags/valid bits only (data lives in {!Dvz_soc.Phys_mem});
+    what the fuzzer observes is presence — which lines exist — plus the taint
+    the shared shadow attaches to line and LFB elements.
+
+    The LFB models the §3.1 C2-2 decoy: a refill deposits (possibly secret)
+    data in a slot, and completion clears the MSHR valid bit {e without}
+    clearing the data.  A value-matching or hash-based oracle flags the
+    stale slot; the liveness oracle does not. *)
+
+type t
+
+val create : lines:int -> line_bytes:int -> t
+
+val line_index : t -> addr:int -> int
+
+val lookup : t -> addr:int -> bool
+(** Hit/miss without side effect. *)
+
+val access : t -> addr:int -> [ `Hit of int | `Miss of int ]
+(** Accesses the line containing [addr], filling it on a miss; returns the
+    line index either way. *)
+
+val invalidate_all : t -> unit
+(** Flush (fence.i / swap-time icache flush). *)
+
+val valid : t -> int -> bool
+
+val line_addr : t -> int -> int
+(** Base byte address of the (valid) line at index [i]. *)
+
+val num_lines : t -> int
+
+(* Line-fill buffer with MSHR valid bits. *)
+module Lfb : sig
+  type t
+
+  val create : entries:int -> t
+
+  val refill : t -> data:int -> int
+  (** A refill passes through the LFB: allocates the next slot round-robin,
+      deposits [data], and — the refill having completed — leaves the slot's
+      MSHR valid bit {e clear}.  Returns the slot index. *)
+
+  val data : t -> int -> int
+  val valid : t -> int -> bool
+  val entries : t -> int
+  val set_valid : t -> int -> bool -> unit
+end

@@ -1,0 +1,132 @@
+open Dvz_soc
+
+type log_entry = {
+  le_slot : int;
+  le_total : int;
+  le_per_module : (string * int) list;
+  le_in_window : bool;
+}
+
+type result = {
+  r_windows_a : Core.window_record list;
+  r_windows_b : Core.window_record list;
+  r_log : log_entry list;
+  r_slots : int;
+  r_cycles_a : int;
+  r_cycles_b : int;
+  r_committed_a : int;
+  r_final_tainted : Elem.t list;
+  r_live_tainted : Elem.t list;
+  r_dead_tainted : Elem.t list;
+}
+
+type t = {
+  core_a : Core.t;
+  core_b : Core.t;
+  taint : Taintstate.t;
+  mutable log : log_entry list;
+  mutable slots : int;
+}
+
+let default_secret_b secret =
+  (* §3.3: generate the variant's secret by flipping each bit of the
+     original to minimise identical-value false negatives. *)
+  Array.map (fun v -> v lxor 0xFFFFFFFF) secret
+
+let create ?(mode = Dvz_ift.Policy.Diffift) ?secret_b cfg stim =
+  let secret_b =
+    match secret_b with
+    | Some s -> s
+    | None -> default_secret_b stim.Core.st_secret
+  in
+  if Array.length secret_b <> Array.length stim.Core.st_secret then
+    invalid_arg "Dualcore.create: secret arity mismatch";
+  let swap_b =
+    Swapmem.with_schedule stim.Core.st_swapmem
+      (Swapmem.schedule stim.Core.st_swapmem)
+  in
+  let stim_b =
+    { stim with Core.st_secret = secret_b; Core.st_swapmem = swap_b }
+  in
+  let core_a = Core.create cfg stim in
+  let core_b = Core.create cfg stim_b in
+  let taint = Taintstate.create mode in
+  Array.iteri
+    (fun i _ -> Taintstate.set_tainted taint (Elem.Mem ((Layout.secret_base / 8) + i)))
+    stim.Core.st_secret;
+  { core_a; core_b; taint; log = []; slots = 0 }
+
+let core_a t = t.core_a
+let core_b t = t.core_b
+let taint t = t.taint
+
+let step t =
+  if Core.is_done t.core_a && Core.is_done t.core_b then false
+  else begin
+    let sa = Core.step t.core_a in
+    let sb = Core.step t.core_b in
+    (match (sa, sb) with
+    | None, None -> ()
+    | _ ->
+        Taintstate.apply_pair t.taint sa sb;
+        let in_window =
+          match sa with Some s -> s.Effect.sl_transient | None -> false
+        in
+        t.log <-
+          { le_slot = t.slots;
+            le_total = Taintstate.tainted_count t.taint;
+            le_per_module = Taintstate.tainted_by_module t.taint;
+            le_in_window = in_window }
+          :: t.log);
+    t.slots <- t.slots + 1;
+    not (Core.is_done t.core_a && Core.is_done t.core_b)
+  end
+
+let collect t =
+  let final = Taintstate.tainted_elems t.taint in
+  let live, dead = List.partition (Core.live t.core_a) final in
+  { r_windows_a = Core.windows t.core_a;
+    r_windows_b = Core.windows t.core_b;
+    r_log = List.rev t.log;
+    r_slots = t.slots;
+    r_cycles_a = Core.cycles t.core_a;
+    r_cycles_b = Core.cycles t.core_b;
+    r_committed_a = Core.committed t.core_a;
+    r_final_tainted = final;
+    r_live_tainted = live;
+    r_dead_tainted = dead }
+
+let run t =
+  while step t do
+    ()
+  done;
+  collect t
+
+let window_timing_diffs result =
+  let rec go i wa wb acc =
+    match (wa, wb) with
+    | a :: ra, b :: rb ->
+        let acc =
+          if a.Core.wr_cycles <> b.Core.wr_cycles then
+            (i, a.Core.wr_cycles, b.Core.wr_cycles) :: acc
+          else acc
+        in
+        go (i + 1) ra rb acc
+    | (a :: ra), [] -> go (i + 1) ra [] ((i, a.Core.wr_cycles, 0) :: acc)
+    | [], (b :: rb) -> go (i + 1) [] rb ((i, 0, b.Core.wr_cycles) :: acc)
+    | [], [] -> List.rev acc
+  in
+  go 0 result.r_windows_a result.r_windows_b []
+
+let taints_in_windows result =
+  let rec go prev growth = function
+    | [] -> growth
+    | e :: rest ->
+        let growth =
+          if e.le_in_window && e.le_total > prev then
+            growth + (e.le_total - prev)
+          else growth
+        in
+        go e.le_total growth rest
+  in
+  go 0 0 result.r_log

@@ -1,0 +1,64 @@
+(** The differential testbench: two identical cores, two secrets, one taint
+    shadow (§3.3, Figure 5's RTL-simulation stage).
+
+    Instance A runs the stimulus with its secret, instance B with a
+    different one (bit-flipped by default, per §3.3's false-negative
+    mitigation); the shared {!Taintstate} observes both.  The run result
+    packages everything the fuzzer's three phases consume: the RoB-derived
+    window records of both instances (trigger detection, Phase 1), the
+    per-slot taint log (coverage, Phase 2), window timing of both instances
+    (constant-time analysis, Phase 3) and the final tainted elements
+    partitioned by liveness (tainted-sink analysis, Phase 3). *)
+
+type log_entry = {
+  le_slot : int;
+  le_total : int;                    (** tainted elements *)
+  le_per_module : (string * int) list;
+  le_in_window : bool;               (** instance A inside a window *)
+}
+
+type result = {
+  r_windows_a : Core.window_record list;
+  r_windows_b : Core.window_record list;
+  r_log : log_entry list;            (** chronological *)
+  r_slots : int;
+  r_cycles_a : int;
+  r_cycles_b : int;
+  r_committed_a : int;
+  r_final_tainted : Elem.t list;
+  r_live_tainted : Elem.t list;      (** tainted and live (instance A) *)
+  r_dead_tainted : Elem.t list;
+}
+
+type t
+
+val create :
+  ?mode:Dvz_ift.Policy.mode ->
+  ?secret_b:int array ->
+  Config.t ->
+  Core.stimulus ->
+  t
+(** [create cfg stim] builds the testbench.  [secret_b] defaults to the
+    bitwise complement of [stim.st_secret] (low 32 bits); pass
+    [stim.st_secret] itself to reproduce the diffIFT^FN worst case.
+    [mode] defaults to [Diffift]. *)
+
+val core_a : t -> Core.t
+val core_b : t -> Core.t
+val taint : t -> Taintstate.t
+
+val step : t -> bool
+(** Advances both instances one slot and updates the taint shadow; false
+    once both instances have finished. *)
+
+val run : t -> result
+(** Steps to completion and collects the result. *)
+
+val window_timing_diffs : result -> (int * int * int) list
+(** Per paired window: [(index, cycles_a, cycles_b)] where the two
+    instances' durations differ — the transient-window constant-time
+    violations of §4.3.1. *)
+
+val taints_in_windows : result -> int
+(** Taint growth observed while inside transient windows (the Phase 2
+    "sensitive data successfully propagated" signal). *)

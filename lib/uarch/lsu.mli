@@ -1,0 +1,54 @@
+(** Load/store queues.
+
+    The store queue is where memory-disambiguation windows come from: a
+    store's address counts as unresolved for [store_resolve_delay] slots
+    after it executes; a younger load that reads an overlapping address
+    while the store is unresolved — and whose {!Predictors.Mdp} entry
+    predicts independence — speculatively consumes the stale memory value
+    and must later be squashed.
+
+    Both queues are snapshot/restore-able so transient allocations can be
+    rolled back at squash time; entries are {!Elem.t}-addressable state. *)
+
+module Stq : sig
+  type t
+
+  type snapshot
+
+  val create : entries:int -> t
+
+  val alloc :
+    t -> addr:int -> size:int -> data:int -> ?old_data:int ->
+    resolve_at:int -> unit -> int
+  (** Allocates the next slot round-robin; [resolve_at] is the slot index at
+      which the store's address becomes architecturally resolved;
+      [old_data] is the memory content the store overwrote — what a
+      disambiguation-mispredicted younger load transiently consumes. *)
+
+  val pending_alias :
+    t -> now:int -> addr:int -> size:int -> (int * int) option
+  (** [(slot, old_data)] of the youngest still-unresolved older store whose
+      footprint overlaps [addr,size), if any. *)
+
+  val forward : t -> now:int -> addr:int -> size:int -> (int * int) option
+  (** [(slot, data)] of the youngest {e resolved} store covering the access
+      exactly — ordinary store-to-load forwarding. *)
+
+  val valid : t -> int -> bool
+  val entries : t -> int
+  val snapshot : t -> snapshot
+  val restore : t -> snapshot -> unit
+end
+
+module Ldq : sig
+  type t
+
+  type snapshot
+
+  val create : entries:int -> t
+  val alloc : t -> addr:int -> int
+  val valid : t -> int -> bool
+  val entries : t -> int
+  val snapshot : t -> snapshot
+  val restore : t -> snapshot -> unit
+end

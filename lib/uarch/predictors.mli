@@ -1,0 +1,103 @@
+(** Branch-prediction structures: BHT, BTB, RAS and loop predictor.
+
+    Each structure exposes its update footprint as {!Elem.t} indices so the
+    shared taint shadow can attribute state changes, and liveness predicates
+    so the oracle can tell pending entries from dead ones.
+
+    The RAS supports the two squash-restore policies relevant to bug B2
+    (Phantom-RSB): the correct policy restores the full stack from a
+    checkpoint; the buggy BOOM policy restores only the TOS pointer and the
+    top entry, leaving transient overwrites of deeper entries in place. *)
+
+(* Branch history table: 2-bit saturating counters. *)
+module Bht : sig
+  type t
+
+  val create : entries:int -> t
+  val index : t -> pc:int -> int
+  val predict_taken : t -> pc:int -> bool
+  val update : t -> pc:int -> taken:bool -> int
+  (** Returns the updated entry index. *)
+
+  val counter : t -> int -> int
+end
+
+(* Branch target buffer: direct-mapped, tagged. *)
+module Btb : sig
+  type t
+
+  val create : ?tagged:bool -> entries:int -> unit -> t
+  (** [tagged] (default true): whether lookups require an exact pc-tag
+      match; untagged BTBs hit on index aliasing. *)
+
+  val index : t -> pc:int -> int
+
+  val lookup : ?word:int -> t -> pc:int -> int option
+  (** [word] is the encoding of the looking-up instruction; a tagged BTB
+      requires it to match the installing instruction's. *)
+
+  val update : ?word:int -> t -> pc:int -> target:int -> int
+  (** Installs/overwrites the entry for [pc]; returns the entry index. *)
+
+  val valid : t -> int -> bool
+  val target_of : t -> int -> int
+end
+
+(* Return address stack. *)
+module Ras : sig
+  type t
+
+  type snapshot
+
+  val create : entries:int -> t
+  val push : t -> int -> int
+  (** Pushes a return address; returns the written slot. *)
+
+  val pop : t -> (int * int) option
+  (** Pops; returns [(addr, slot)] or [None] when empty. *)
+
+  val peek : t -> int option
+  val depth : t -> int
+  val tos : t -> int
+  val entry : t -> int -> int
+
+  val snapshot : t -> snapshot
+  val restore_full : t -> snapshot -> unit
+  (** Correct squash recovery: every entry, TOS and depth restored. *)
+
+  val restore_top_only : t -> snapshot -> unit
+  (** BOOM's buggy recovery (B2): restores TOS, depth and the top entry;
+      deeper entries keep whatever transient execution wrote. *)
+
+  val live : t -> int -> bool
+  (** Whether slot [i] holds a pending (poppable) return address. *)
+end
+
+(* Loop predictor: per-branch trip counting. *)
+module Loop : sig
+  type t
+
+  val create : entries:int -> t
+  (** [entries = 0] builds a disabled predictor (XiangShan MinimalConfig). *)
+
+  val enabled : t -> bool
+  val index : t -> pc:int -> int option
+  val update : t -> pc:int -> taken:bool -> int option
+  (** Returns the updated entry index, if the predictor is enabled. *)
+
+  val valid : t -> int -> bool
+  val streak : t -> int -> int
+end
+
+(* Memory dependence (disambiguation) predictor. *)
+module Mdp : sig
+  type t
+
+  val create : entries:int -> t
+  val index : t -> pc:int -> int
+  val predicts_alias : t -> pc:int -> bool
+  (** Optimistic default: loads are predicted independent of older stores. *)
+
+  val train_alias : t -> pc:int -> int
+  (** Records that the load at [pc] aliased; returns the entry index. *)
+end

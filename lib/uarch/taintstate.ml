@@ -1,0 +1,127 @@
+module Policy = Dvz_ift.Policy
+
+module Eset = struct
+  include Hashtbl
+
+  let mem_elem tbl e = Hashtbl.mem tbl e
+end
+
+type t = {
+  mode : Policy.mode;
+  taints : (Elem.t, unit) Hashtbl.t;
+  saved : (Elem.t, bool) Hashtbl.t;  (** window-open checkpoint *)
+}
+
+let create mode =
+  { mode; taints = Hashtbl.create 256; saved = Hashtbl.create 64 }
+
+let mode t = t.mode
+
+let set_tainted t e = Hashtbl.replace t.taints e ()
+let clear_tainted t e = Hashtbl.remove t.taints e
+let is_tainted t e = Eset.mem_elem t.taints e
+
+let set t e v = if v then set_tainted t e else clear_tainted t e
+
+let any_tainted t es = List.exists (is_tainted t) es
+
+let write t ~diverged dst srcs =
+  let incoming = any_tainted t srcs || diverged in
+  match t.mode with
+  | Policy.Cellift -> if incoming then set_tainted t dst
+  | Policy.Diffift -> set t dst incoming
+
+let ctrl t ~diverged ~st ~diff touched =
+  let propagate =
+    st && (match t.mode with Policy.Cellift -> true | Policy.Diffift -> diff)
+  in
+  if propagate || (diverged && st) then List.iter (set_tainted t) touched
+
+let copy_regs_to_spec t =
+  for i = 0 to 31 do
+    set t (Elem.Sreg i) (is_tainted t (Elem.Areg i))
+  done
+
+let snapshot t elems =
+  Hashtbl.reset t.saved;
+  List.iter (fun e -> Hashtbl.replace t.saved e (is_tainted t e)) elems
+
+let restore t elems =
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt t.saved e with
+      | Some v -> set t e v
+      | None -> ())
+    elems
+
+let apply_event t ~diverged = function
+  | Effect.Write (dst, srcs) -> write t ~diverged dst srcs
+  | Effect.Copy_regs_to_spec -> copy_regs_to_spec t
+  | Effect.Snapshot elems -> snapshot t elems
+  | Effect.Restore elems -> restore t elems
+  | Effect.Ctrl { srcs; touched; _ } ->
+      (* Unpaired control decision: the twin did something else entirely,
+         so the decision certainly differs. *)
+      ctrl t ~diverged ~st:(any_tainted t srcs || diverged) ~diff:true touched
+
+(* An event present in one instance but not the other (e.g. a cache fill on
+   a hit/miss divergence): the difference itself is secret-dependent, so
+   control decisions count as differing and the touched/written
+   microarchitectural state taints — but only if the decision's sources are
+   secret-derived or the instruction streams have diverged; an incidental
+   bookkeeping write (say, a predictor update with clean operands) must not
+   taint just because a neighbouring cache fill was asymmetric. *)
+let apply_event_unpaired t ~diverged = function
+  | Effect.Write (dst, srcs) -> write t ~diverged dst srcs
+  | Effect.Ctrl { srcs; touched; _ } ->
+      ctrl t ~diverged ~st:(any_tainted t srcs || diverged) ~diff:true touched
+  | (Effect.Copy_regs_to_spec | Effect.Snapshot _ | Effect.Restore _) as e ->
+      apply_event t ~diverged e
+
+let apply_event_pair t ~diverged ea eb =
+  match (ea, eb) with
+  | ( Effect.Ctrl { kind = ka; value = va; srcs = sa; touched = ta },
+      Effect.Ctrl { kind = kb; value = vb; srcs = sb; touched = tb } )
+    when ka = kb ->
+      let st = any_tainted t (sa @ sb) || diverged in
+      let diff = va <> vb || diverged in
+      ctrl t ~diverged ~st ~diff (ta @ tb)
+  | Effect.Write (da, sa), Effect.Write (db, sb) when Elem.equal da db ->
+      write t ~diverged da (sa @ sb)
+  | _ ->
+      apply_event_unpaired t ~diverged ea;
+      apply_event_unpaired t ~diverged eb
+
+let rec apply_events t ~diverged ea eb =
+  match (ea, eb) with
+  | [], [] -> ()
+  | e :: rest, [] | [], e :: rest ->
+      apply_event_unpaired t ~diverged e;
+      apply_events t ~diverged rest []
+  | a :: ra, b :: rb ->
+      apply_event_pair t ~diverged a b;
+      apply_events t ~diverged ra rb
+
+let apply_pair t sa sb =
+  match (sa, sb) with
+  | None, None -> ()
+  | Some s, None | None, Some s ->
+      List.iter (apply_event t ~diverged:true) s.Effect.sl_events
+  | Some a, Some b ->
+      let diverged = a.Effect.sl_pc <> b.Effect.sl_pc in
+      apply_events t ~diverged a.Effect.sl_events b.Effect.sl_events
+
+let tainted_count t = Hashtbl.length t.taints
+
+let tainted_elems t =
+  List.sort Elem.compare (Hashtbl.fold (fun e () acc -> e :: acc) t.taints [])
+
+let tainted_by_module t =
+  let tbl = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun e () ->
+      let m = Elem.module_of e in
+      let cur = try Hashtbl.find tbl m with Not_found -> 0 in
+      Hashtbl.replace tbl m (cur + 1))
+    t.taints;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

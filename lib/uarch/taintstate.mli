@@ -1,0 +1,42 @@
+(** Shared taint shadow over the microarchitectural element space.
+
+    One taint state serves the two lockstep DUT instances, exactly like the
+    shadow circuit of the dual-DUT testbench in §3.3.  Effects are consumed
+    in pairs — instance A's and instance B's {!Effect.slot} for the same
+    slot — and the cross-instance comparison of control decisions provides
+    the [diff] gating:
+
+    - [Write] propagates data taint.  In [Diffift] mode a write with clean
+      sources clears the destination's taint (precise overwrite); in
+      [Cellift] mode taints only accumulate, reproducing the monotone taint
+      growth of §2.2.
+    - [Ctrl] propagates control taint to the touched elements when the
+      decision's sources are tainted and — in [Diffift] mode — the two
+      instances' concrete decisions actually differ.
+    - Slot divergence (the instances executing different pcs) is itself a
+      secret-caused difference: every write in a diverged slot is
+      control-tainted in both modes. *)
+
+type t
+
+val create : Dvz_ift.Policy.mode -> t
+
+val mode : t -> Dvz_ift.Policy.mode
+
+val set_tainted : t -> Elem.t -> unit
+(** Marks a taint source (e.g. the secret region's memory words). *)
+
+val clear_tainted : t -> Elem.t -> unit
+
+val is_tainted : t -> Elem.t -> bool
+
+val apply_pair : t -> Effect.slot option -> Effect.slot option -> unit
+(** Processes one slot of both instances ([None] when an instance has
+    already finished — treated as full divergence). *)
+
+val tainted_count : t -> int
+
+val tainted_elems : t -> Elem.t list
+
+val tainted_by_module : t -> (string * int) list
+(** Tainted element count per module tag (only non-zero entries), sorted. *)

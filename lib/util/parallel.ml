@@ -1,0 +1,32 @@
+let available () = Domain.recommended_domain_count ()
+
+let map ?domains f xs =
+  let n = List.length xs in
+  let domains =
+    match domains with Some d -> d | None -> max 1 (available () - 1)
+  in
+  if domains <= 1 || n <= 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f arr.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned =
+      List.init (min domains (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> failwith "Parallel.map: missing result")
+         results)
+  end

@@ -1,0 +1,16 @@
+(** Domain-based parallel map.
+
+    The paper's fuzzing manager "employs a multi-threaded design, allowing
+    multiple RTL simulation instances to run in parallel" (§5); campaigns
+    and experiment trials here are independent deterministic computations,
+    so they parallelise with OCaml 5 domains without shared state. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] evaluates [f] on every element, using up to [domains]
+    additional domains (default: [recommended_domain_count - 1], at least
+    1).  Results preserve order.  Falls back to sequential evaluation when
+    [domains <= 1] or the list is a singleton.  Exceptions raised by [f]
+    are re-raised in the caller. *)
+
+val available : unit -> int
+(** Domains the runtime recommends. *)

@@ -1,0 +1,657 @@
+(* Tests for the Dejavuzz library itself: seeds, packets, the three fuzzing
+   phases (trigger generation/reduction, window completion/coverage,
+   oracles) and the campaign manager. *)
+
+open Dvz_soc
+module Rng = Dvz_util.Rng
+module Cfg = Dvz_uarch.Config
+module Core = Dvz_uarch.Core
+module Dualcore = Dvz_uarch.Dualcore
+module Elem = Dvz_uarch.Elem
+module Seed = Dejavuzz.Seed
+module Packet = Dejavuzz.Packet
+module Genlib = Dejavuzz.Genlib
+module Trigger_gen = Dejavuzz.Trigger_gen
+module Trigger_opt = Dejavuzz.Trigger_opt
+module Window_gen = Dejavuzz.Window_gen
+module Coverage = Dejavuzz.Coverage
+module Oracle = Dejavuzz.Oracle
+module Campaign = Dejavuzz.Campaign
+
+let boom = Cfg.boom_small
+let xs = Cfg.xiangshan_minimal
+let secret = Array.make Layout.secret_dwords 0xFACE
+
+(* --- seeds --------------------------------------------------------------- *)
+
+let test_seed_mutation_preserves_trigger () =
+  let rng = Rng.create 1 in
+  let s = Seed.random rng in
+  let s' = Seed.mutate_window rng s in
+  Alcotest.(check bool) "same trigger" true
+    (s.Seed.kind = s'.Seed.kind
+    && s.Seed.trigger_entropy = s'.Seed.trigger_entropy);
+  Alcotest.(check bool) "new window entropy" true
+    (s.Seed.window_entropy <> s'.Seed.window_entropy)
+
+let test_seed_kind_classification () =
+  Alcotest.(check bool) "exceptions" true (Seed.is_exception Seed.T_page_fault);
+  Alcotest.(check bool) "mispredictions" true
+    (Seed.is_misprediction Seed.T_return);
+  Alcotest.(check int) "eight kinds" 8 (Array.length Seed.all_kinds)
+
+(* --- genlib -------------------------------------------------------------- *)
+
+let test_genlib_li () =
+  let check_li v =
+    let insns = Genlib.li Dvz_isa.Reg.t0 v in
+    let mem = Phys_mem.create () in
+    Phys_mem.write_words mem 0x1000
+      (Array.of_list (List.map Dvz_isa.Encode.encode insns));
+    let g =
+      Dvz_isa.Golden.create ~pc:0x1000 (Phys_mem.golden_memory mem)
+    in
+    List.iter (fun _ -> ignore (Dvz_isa.Golden.step g)) insns;
+    Alcotest.(check int)
+      (Printf.sprintf "li %d" v)
+      v
+      (Dvz_isa.Golden.reg g Dvz_isa.Reg.t0)
+  in
+  List.iter check_li [ 0; 1; -1; 2047; -2048; 0x1000; 0x5008; 0xF000; 123456 ]
+
+let test_genlib_pad_to () =
+  let insns = Genlib.pad_to [ Dvz_isa.Insn.Ebreak ] 5 in
+  Alcotest.(check int) "padded" 5 (List.length insns);
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Genlib.pad_to: sequence too long") (fun () ->
+      ignore (Genlib.pad_to (Genlib.nops 6) 5))
+
+let test_genlib_cond_operands () =
+  let rng = Rng.create 3 in
+  List.iter
+    (fun cond ->
+      List.iter
+        (fun taken ->
+          let v0, v1 = Genlib.random_cond_operands rng cond ~taken in
+          Alcotest.(check bool)
+            (Printf.sprintf "cond resolves to %b" taken)
+            taken
+            (Dvz_isa.Exec_alu.cond_holds cond v0 v1))
+        [ true; false ])
+    [ Dvz_isa.Insn.Eq; Dvz_isa.Insn.Ne; Dvz_isa.Insn.Lt; Dvz_isa.Insn.Ge;
+      Dvz_isa.Insn.Ltu; Dvz_isa.Insn.Geu ]
+
+let test_genlib_illegal_word () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 50 do
+    match Dvz_isa.Decode.decode (Genlib.illegal_word rng) with
+    | Dvz_isa.Insn.Illegal _ -> ()
+    | i -> Alcotest.failf "decodes: %s" (Dvz_isa.Insn.to_string i)
+  done
+
+(* --- packets ------------------------------------------------------------- *)
+
+let test_packet_stimulus_schedule () =
+  let rng = Rng.create 5 in
+  let seed = Seed.random_of_kind rng Seed.T_return in
+  let tc = Trigger_gen.generate boom seed in
+  let tc = Window_gen.complete boom tc in
+  let stim = Packet.stimulus ~secret tc in
+  let blobs = Swapmem.blobs stim.Core.st_swapmem in
+  (* window trainings first, then trigger trainings, transient last *)
+  let last = List.nth blobs (List.length blobs - 1) in
+  Alcotest.(check bool) "transient last" true last.Swapmem.is_transient;
+  Alcotest.(check int) "one transient blob" 1
+    (List.length (List.filter (fun b -> b.Swapmem.is_transient) blobs))
+
+let test_training_overhead_counts () =
+  let p1 =
+    Packet.make ~name:"a" ~role:Packet.Trigger_training ~training_total:10
+      ~training_effective:2 (Genlib.nops 10)
+  in
+  let p2 =
+    Packet.make ~name:"b" ~role:Packet.Window_training ~training_total:3
+      ~training_effective:3 (Genlib.nops 3)
+  in
+  let tr = Packet.make ~name:"t" ~role:Packet.Transient [ Dvz_isa.Insn.Ebreak ] in
+  let tc =
+    { Packet.seed = Seed.random (Rng.create 0); transient = tr;
+      trigger_trainings = [ p1 ]; window_trainings = [ p2 ];
+      trigger_addr = 0; window_addr = 0; window_words = 0; data = [];
+      perms = []; tighten = false; gadget_tags = [] }
+  in
+  let total, eff = Packet.training_overhead tc in
+  Alcotest.(check int) "total" 13 total;
+  Alcotest.(check int) "effective" 5 eff
+
+(* --- phase 1 ------------------------------------------------------------- *)
+
+let trigger_rate ?(style = `Derived) cfg kind n =
+  let rng = Rng.create 1234 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    let seed = Seed.random_of_kind rng kind in
+    let tc = Trigger_gen.generate ~style ~force_training:true cfg seed in
+    if Trigger_opt.evaluate cfg tc then incr hits
+  done;
+  float_of_int !hits /. float_of_int n
+
+let test_all_kinds_trigger_on_xiangshan () =
+  Array.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Seed.kind_name kind ^ " triggers")
+        true
+        (trigger_rate xs kind 10 > 0.9))
+    Seed.all_kinds
+
+let test_boom_kinds () =
+  Array.iter
+    (fun kind ->
+      let rate = trigger_rate boom kind 10 in
+      if kind = Seed.T_illegal then
+        Alcotest.(check (float 0.01)) "illegal never triggers on BOOM" 0.0 rate
+      else
+        Alcotest.(check bool) (Seed.kind_name kind ^ " triggers") true
+          (rate > 0.9))
+    Seed.all_kinds
+
+let test_random_training_fails_tagged_btb () =
+  (* DejaVuzz* cannot train XiangShan's tagged BTB (Table 3's x cell) *)
+  Alcotest.(check (float 0.01)) "jump windows untriggerable" 0.0
+    (trigger_rate ~style:`Random xs Seed.T_jump 10)
+
+let test_reduction_keeps_triggering () =
+  let rng = Rng.create 77 in
+  for _ = 1 to 10 do
+    let seed = Seed.random_of_kind rng Seed.T_branch in
+    let tc = Trigger_gen.generate ~force_training:true boom seed in
+    if Trigger_opt.evaluate boom tc then begin
+      let reduced, removed = Trigger_opt.reduce boom tc in
+      Alcotest.(check bool) "still triggers" true
+        (Trigger_opt.evaluate boom reduced);
+      Alcotest.(check bool) "junk packets removed" true (removed >= 2);
+      Alcotest.(check bool) "shrunk" true
+        (List.length reduced.Packet.trigger_trainings
+        < List.length tc.Packet.trigger_trainings)
+    end
+  done
+
+let test_reduction_zero_for_exceptions () =
+  let rng = Rng.create 78 in
+  let seed = Seed.random_of_kind rng Seed.T_page_fault in
+  let tc = Trigger_gen.generate boom seed in
+  Alcotest.(check bool) "triggers" true (Trigger_opt.evaluate boom tc);
+  let reduced, _ = Trigger_opt.reduce boom tc in
+  let total, eff = Packet.training_overhead reduced in
+  Alcotest.(check int) "TO 0" 0 total;
+  Alcotest.(check int) "ETO 0" 0 eff
+
+let test_reduction_noop_when_untriggered () =
+  let rng = Rng.create 79 in
+  let seed = Seed.random_of_kind rng Seed.T_illegal in
+  let tc = Trigger_gen.generate boom seed in
+  let reduced, removed = Trigger_opt.reduce boom tc in
+  Alcotest.(check int) "no removal" 0 removed;
+  Alcotest.(check bool) "unchanged" true (reduced == tc)
+
+let test_expected_window_matcher () =
+  Alcotest.(check bool) "access fault matches" true
+    (Trigger_gen.expected_window
+       { Seed.kind = Seed.T_access_fault; trigger_entropy = 0;
+         window_entropy = 0; tighten = false; mask_high = false }
+       (Dvz_uarch.Effect.W_exception Dvz_isa.Trap.Load_access_fault));
+  Alcotest.(check bool) "kind mismatch rejected" false
+    (Trigger_gen.expected_window
+       { Seed.kind = Seed.T_branch; trigger_entropy = 0; window_entropy = 0;
+         tighten = false; mask_high = false }
+       Dvz_uarch.Effect.W_return_mispred)
+
+(* --- phase 2 ------------------------------------------------------------- *)
+
+let completed_tc ?(kind = Seed.T_page_fault) ?(cfg = boom) entropy =
+  let rng = Rng.create entropy in
+  let seed = Seed.random_of_kind rng kind in
+  let tc = Trigger_gen.generate ~force_training:true cfg seed in
+  Alcotest.(check bool) "triggers" true (Trigger_opt.evaluate cfg tc);
+  Window_gen.complete cfg tc
+
+let test_window_completion_replaces_nops () =
+  let tc0_rng = Rng.create 7 in
+  let seed = Seed.random_of_kind tc0_rng Seed.T_page_fault in
+  let tc0 = Trigger_gen.generate boom seed in
+  let tc = Window_gen.complete boom tc0 in
+  let idx = (tc.Packet.window_addr - Layout.swap_base) / 4 in
+  let insns = Array.of_list tc.Packet.transient.Packet.insns in
+  Alcotest.(check bool) "first window insn is the secret access" true
+    (match insns.(idx) with Dvz_isa.Insn.Load _ -> true | _ -> false);
+  Alcotest.(check bool) "gadget tags recorded" true (tc.Packet.gadget_tags <> []);
+  Alcotest.(check int) "window trainings attached" 2
+    (List.length tc.Packet.window_trainings)
+
+let test_window_completion_deterministic () =
+  let tc1 = completed_tc 9 and tc2 = completed_tc 9 in
+  Alcotest.(check bool) "same window from same entropy" true
+    (tc1.Packet.transient.Packet.insns = tc2.Packet.transient.Packet.insns)
+
+let test_sanitize_keeps_access_block () =
+  let tc = completed_tc 11 in
+  let san = Window_gen.sanitize boom tc in
+  let idx = (tc.Packet.window_addr - Layout.swap_base) / 4 in
+  let orig = Array.of_list tc.Packet.transient.Packet.insns in
+  let sanitized = Array.of_list san.Packet.transient.Packet.insns in
+  Alcotest.(check bool) "access block preserved" true
+    (orig.(idx) = sanitized.(idx));
+  (* everything after the access block is nops *)
+  let all_nops = ref true in
+  for i = idx + 1 to idx + tc.Packet.window_words - 1 do
+    if sanitized.(i) <> Dvz_isa.Insn.nop then all_nops := false
+  done;
+  Alcotest.(check bool) "encoding block nop'd" true !all_nops
+
+let test_disamb_window_uses_stale_pointer () =
+  let tc = completed_tc ~kind:Seed.T_mem_disamb 13 in
+  let idx = (tc.Packet.window_addr - Layout.swap_base) / 4 in
+  let insns = Array.of_list tc.Packet.transient.Packet.insns in
+  match insns.(idx) with
+  | Dvz_isa.Insn.Load (_, _, _, rs1, _) ->
+      Alcotest.(check bool) "reads via a2" true
+        (Dvz_isa.Reg.equal rs1 Dvz_isa.Reg.a2)
+  | i -> Alcotest.failf "unexpected %s" (Dvz_isa.Insn.to_string i)
+
+(* --- coverage ------------------------------------------------------------ *)
+
+let test_coverage_accumulates () =
+  let cov = Coverage.create () in
+  let tc = completed_tc 15 in
+  let result = Dualcore.run (Dualcore.create boom (Packet.stimulus ~secret tc)) in
+  let fresh1 = Coverage.observe_result cov result in
+  Alcotest.(check bool) "first run covers points" true (fresh1 > 0);
+  let fresh2 = Coverage.observe_result cov result in
+  Alcotest.(check int) "identical run adds nothing" 0 fresh2;
+  Alcotest.(check int) "points persist" fresh1 (Coverage.points cov)
+
+let test_coverage_position_insensitive () =
+  let cov = Coverage.create () in
+  (* two log entries with the same per-module counts are the same point *)
+  let entry total =
+    { Dualcore.le_slot = 0; le_total = total;
+      le_per_module = [ ("lsu.dcache", 2) ]; le_in_window = true }
+  in
+  ignore (Coverage.observe cov [ entry 2 ]);
+  Alcotest.(check int) "one point" 1 (Coverage.points cov);
+  ignore (Coverage.observe cov [ entry 2 ]);
+  Alcotest.(check int) "still one" 1 (Coverage.points cov);
+  ignore
+    (Coverage.observe cov
+       [ { Dualcore.le_slot = 1; le_total = 3;
+           le_per_module = [ ("lsu.dcache", 3) ]; le_in_window = true } ]);
+  Alcotest.(check int) "new count = new point" 2 (Coverage.points cov)
+
+let test_coverage_copy () =
+  let cov = Coverage.create () in
+  ignore
+    (Coverage.observe cov
+       [ { Dualcore.le_slot = 0; le_total = 1;
+           le_per_module = [ ("rob", 1) ]; le_in_window = true } ]);
+  let snap = Coverage.copy cov in
+  ignore
+    (Coverage.observe cov
+       [ { Dualcore.le_slot = 0; le_total = 2;
+           le_per_module = [ ("rob", 2) ]; le_in_window = true } ]);
+  Alcotest.(check int) "copy frozen" 1 (Coverage.points snap);
+  Alcotest.(check int) "original grew" 2 (Coverage.points cov)
+
+(* --- phase 3 / oracle ---------------------------------------------------- *)
+
+let test_oracle_detects_dcache_leak () =
+  (* find a seed whose window contains the dcache gadget and no timing
+     gadget, then the oracle must report an encode leak via dcache *)
+  let rng = Rng.create 21 in
+  let rec search tries =
+    if tries = 0 then Alcotest.fail "no dcache-only window found"
+    else begin
+      let seed = Seed.random_of_kind rng Seed.T_page_fault in
+      let seed = { seed with Seed.tighten = true; mask_high = false } in
+      let tc = Trigger_gen.generate boom seed in
+      if Trigger_opt.evaluate boom tc then begin
+        let tc = Window_gen.complete boom tc in
+        let tags = tc.Packet.gadget_tags in
+        let timing_tags =
+          List.filter (fun t -> List.mem t [ "fpu"; "lsu"; "refetch" ]) tags
+        in
+        if List.mem "dcache" tags && timing_tags = [] then begin
+          let a = Oracle.analyze boom ~secret tc in
+          Alcotest.(check bool) "leak found" true (Oracle.is_leak a);
+          (* The secret-indexed probe loads may also produce a cache-timing
+             difference, which the constant-time check reports first; keep
+             searching until a pure encode-leak case appears. *)
+          match a.Oracle.a_leaks with
+          | [ Oracle.Encode { components; _ } ] ->
+              Alcotest.(check bool) "dcache component" true
+                (List.mem "dcache" components)
+          | _ -> search (tries - 1)
+        end
+        else search (tries - 1)
+      end
+      else search (tries - 1)
+    end
+  in
+  search 300
+
+let test_oracle_attack_classification () =
+  let rng = Rng.create 23 in
+  let rec search tries =
+    if tries = 0 then Alcotest.fail "no triggering meltdown seed"
+    else begin
+      let seed = Seed.random_of_kind rng Seed.T_access_fault in
+      let seed = { seed with Seed.tighten = true; mask_high = false } in
+      let tc = Trigger_gen.generate boom seed in
+      if Trigger_opt.evaluate boom tc then begin
+        let tc = Window_gen.complete boom tc in
+        let a = Oracle.analyze boom ~secret tc in
+        Alcotest.(check bool) "meltdown" true (a.Oracle.a_attack = Some `Meltdown)
+      end
+      else search (tries - 1)
+    end
+  in
+  search 50
+
+let test_oracle_liveness_filters_prf () =
+  (* without liveness, residual speculative-register taints surface *)
+  let tc = completed_tc 25 in
+  let with_lv = Oracle.analyze boom ~secret tc in
+  let without = Oracle.analyze ~use_liveness:false boom ~secret tc in
+  Alcotest.(check bool) "all-sinks superset of live sinks" true
+    (List.length without.Oracle.a_all_sinks
+    >= List.length with_lv.Oracle.a_live_sinks)
+
+let test_component_mapping () =
+  Alcotest.(check (option string)) "dcache" (Some "dcache")
+    (Oracle.component_of_module "lsu.dcache");
+  Alcotest.(check (option string)) "arch excluded" None
+    (Oracle.component_of_module "core.arf");
+  Alcotest.(check (option string)) "mem excluded" None
+    (Oracle.component_of_module "mem")
+
+(* --- extensions (§7) ------------------------------------------------------ *)
+
+let test_oracle_retries_deterministic () =
+  let tc = completed_tc 31 in
+  let a1 = Oracle.analyze_with_retries ~retries:3 boom ~secret tc in
+  let a2 = Oracle.analyze_with_retries ~retries:3 boom ~secret tc in
+  Alcotest.(check bool) "same verdict" (Oracle.is_leak a1) (Oracle.is_leak a2)
+
+let test_oracle_retries_finds_at_least_single () =
+  (* retries can only help: if a single attempt leaks, so does the retry
+     wrapper *)
+  let tc = completed_tc 33 in
+  let single = Oracle.analyze boom ~secret tc in
+  let retried = Oracle.analyze_with_retries ~retries:3 boom ~secret tc in
+  if Oracle.is_leak single then
+    Alcotest.(check bool) "retry preserves leak" true (Oracle.is_leak retried)
+
+let test_migrate_layout () =
+  let tc = completed_tc ~kind:Seed.T_page_fault 35 in
+  let layout = Dejavuzz.Migrate.migrate tc in
+  Alcotest.(check bool) "one base per packet" true
+    (List.length layout.Dejavuzz.Migrate.lo_bases
+    = List.length tc.Packet.window_trainings
+      + List.length tc.Packet.trigger_trainings
+      + 1);
+  (* bases are alignment-preserving and inside the flat region *)
+  List.iter
+    (fun (_, b) ->
+      Alcotest.(check int) "aligned" 0 (b mod 0x400);
+      Alcotest.(check bool) "in region" true (b >= 0x2000 && b < 0x4000))
+    layout.Dejavuzz.Migrate.lo_bases;
+  let asm = Dejavuzz.Migrate.render_assembly layout in
+  Alcotest.(check bool) "assembly rendered" true (String.length asm > 100)
+
+let test_migrate_exception_windows_still_trigger () =
+  let rng = Rng.create 41 in
+  let hits = ref 0 and tot = ref 0 in
+  for _ = 1 to 8 do
+    let seed = Seed.random_of_kind rng Seed.T_page_fault in
+    let tc = Trigger_gen.generate boom seed in
+    if Trigger_opt.evaluate boom tc then begin
+      incr tot;
+      if Dejavuzz.Migrate.runs_on_flat_memory boom ~secret tc then incr hits
+    end
+  done;
+  Alcotest.(check int) "all migrated page-fault windows trigger" !tot !hits
+
+let test_migrate_branch_windows_still_trigger () =
+  let rng = Rng.create 43 in
+  let hits = ref 0 and tot = ref 0 in
+  for _ = 1 to 8 do
+    let seed = Seed.random_of_kind rng Seed.T_branch in
+    let tc = Trigger_gen.generate ~force_training:true boom seed in
+    if Trigger_opt.evaluate boom tc then begin
+      incr tot;
+      let tc, _ = Trigger_opt.reduce boom tc in
+      if Dejavuzz.Migrate.runs_on_flat_memory boom ~secret tc then incr hits
+    end
+  done;
+  Alcotest.(check int) "aligned relocation preserves branch training" !tot !hits
+
+(* --- campaign ------------------------------------------------------------ *)
+
+let test_campaign_smoke () =
+  let options =
+    { Campaign.default_options with Campaign.iterations = 40; rng_seed = 3 }
+  in
+  let stats = Campaign.run boom options in
+  Alcotest.(check int) "curve length" 40
+    (Array.length stats.Campaign.s_coverage_curve);
+  Alcotest.(check bool) "coverage grew" true (stats.Campaign.s_final_coverage > 0);
+  Alcotest.(check bool) "monotone curve" true
+    (let ok = ref true in
+     for i = 1 to 39 do
+       if stats.Campaign.s_coverage_curve.(i)
+          < stats.Campaign.s_coverage_curve.(i - 1)
+       then ok := false
+     done;
+     !ok);
+  Alcotest.(check bool) "found something" true
+    (stats.Campaign.s_findings <> [])
+
+let test_campaign_deterministic () =
+  let options =
+    { Campaign.default_options with Campaign.iterations = 15; rng_seed = 4 }
+  in
+  let a = Campaign.run boom options and b = Campaign.run boom options in
+  Alcotest.(check bool) "same curve" true
+    (a.Campaign.s_coverage_curve = b.Campaign.s_coverage_curve);
+  Alcotest.(check int) "same findings"
+    (List.length a.Campaign.s_findings)
+    (List.length b.Campaign.s_findings)
+
+let test_campaign_dedup () =
+  let options =
+    { Campaign.default_options with Campaign.iterations = 60; rng_seed = 5 }
+  in
+  let stats = Campaign.run boom options in
+  let keys = List.map Campaign.dedup_key stats.Campaign.s_findings in
+  Alcotest.(check int) "no duplicate findings" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_report_rendering () =
+  let options =
+    { Campaign.default_options with Campaign.iterations = 30; rng_seed = 6 }
+  in
+  let stats = Campaign.run boom options in
+  let summary = Dejavuzz.Report.summary stats in
+  Alcotest.(check bool) "summary nonempty" true (String.length summary > 0);
+  let t5 =
+    Dejavuzz.Report.table5 ~core_name:"BOOM" stats.Campaign.s_findings
+  in
+  Alcotest.(check bool) "table rendered" true (String.length t5 > 0)
+
+let test_window_group () =
+  Alcotest.(check string) "mem-excp" "mem-excp"
+    (Dejavuzz.Report.window_group Seed.T_misalign);
+  Alcotest.(check string) "mispred" "mispred"
+    (Dejavuzz.Report.window_group Seed.T_jump);
+  Alcotest.(check string) "illegal" "illegal"
+    (Dejavuzz.Report.window_group Seed.T_illegal)
+
+let test_oracle_deterministic () =
+  let tc = completed_tc 51 in
+  let a1 = Oracle.analyze boom ~secret tc in
+  let a2 = Oracle.analyze boom ~secret tc in
+  Alcotest.(check bool) "same verdict" (Oracle.is_leak a1) (Oracle.is_leak a2);
+  Alcotest.(check int) "same live sinks"
+    (List.length a1.Oracle.a_live_sinks)
+    (List.length a2.Oracle.a_live_sinks)
+
+let test_reduce_idempotent () =
+  let rng = Rng.create 53 in
+  let seed = Seed.random_of_kind rng Seed.T_jump in
+  let tc = Trigger_gen.generate ~force_training:true boom seed in
+  if Trigger_opt.evaluate boom tc then begin
+    let once, _ = Trigger_opt.reduce boom tc in
+    let twice, removed = Trigger_opt.reduce boom once in
+    Alcotest.(check int) "second pass removes nothing" 0 removed;
+    Alcotest.(check int) "same packet count"
+      (List.length once.Packet.trigger_trainings)
+      (List.length twice.Packet.trigger_trainings)
+  end
+
+let test_trainings_order_irrelevant_for_triggering () =
+  (* a reduced test case must keep triggering if its (independent) training
+     packets are reordered, since each is isolated by swapMem *)
+  let rng = Rng.create 57 in
+  let rec find tries =
+    if tries = 0 then ()
+    else begin
+      let seed = Seed.random_of_kind rng Seed.T_branch in
+      let tc = Trigger_gen.generate ~force_training:true boom seed in
+      if Trigger_opt.evaluate boom tc then begin
+        let reduced, _ = Trigger_opt.reduce boom tc in
+        let reversed =
+          Packet.with_trigger_trainings reduced
+            (List.rev reduced.Packet.trigger_trainings)
+        in
+        Alcotest.(check bool) "reordered trainings still trigger" true
+          (Trigger_opt.evaluate boom reversed)
+      end
+      else find (tries - 1)
+    end
+  in
+  find 10
+
+let test_campaign_cellift_mode_runs () =
+  let options =
+    { Campaign.default_options with
+      Campaign.iterations = 20; rng_seed = 8;
+      taint_mode = Dvz_ift.Policy.Cellift }
+  in
+  let stats = Campaign.run boom options in
+  Alcotest.(check bool) "coverage measured" true
+    (stats.Campaign.s_final_coverage > 0)
+
+let prop_window_fits_budget =
+  QCheck.Test.make ~name:"completed windows never exceed the window section"
+    ~count:80 QCheck.small_int (fun e ->
+      let rng = Rng.create e in
+      let seed = Seed.random rng in
+      let tc = Trigger_gen.generate boom seed in
+      let completed = Window_gen.complete boom tc in
+      List.length completed.Packet.transient.Packet.insns
+      = List.length tc.Packet.transient.Packet.insns)
+
+(* properties *)
+
+let prop_generate_never_raises =
+  QCheck.Test.make ~name:"trigger generation is total" ~count:100
+    QCheck.small_int (fun e ->
+      let rng = Rng.create e in
+      let seed = Seed.random rng in
+      let tc = Trigger_gen.generate boom seed in
+      List.length tc.Packet.transient.Packet.insns > 0)
+
+let prop_stimulus_buildable =
+  QCheck.Test.make ~name:"every generated testcase builds a stimulus"
+    ~count:60 QCheck.small_int (fun e ->
+      let rng = Rng.create e in
+      let seed = Seed.random rng in
+      let tc = Trigger_gen.generate xs seed in
+      let tc = Window_gen.complete xs tc in
+      let stim = Packet.stimulus ~secret tc in
+      stim.Core.st_max_slots > 0)
+
+let () =
+  Alcotest.run "dejavuzz"
+    [ ( "seed",
+        [ Alcotest.test_case "window mutation" `Quick
+            test_seed_mutation_preserves_trigger;
+          Alcotest.test_case "classification" `Quick test_seed_kind_classification ] );
+      ( "genlib",
+        [ Alcotest.test_case "li materialisation" `Quick test_genlib_li;
+          Alcotest.test_case "pad_to" `Quick test_genlib_pad_to;
+          Alcotest.test_case "cond operands" `Quick test_genlib_cond_operands;
+          Alcotest.test_case "illegal words" `Quick test_genlib_illegal_word ] );
+      ( "packet",
+        [ Alcotest.test_case "schedule order" `Quick test_packet_stimulus_schedule;
+          Alcotest.test_case "overhead counts" `Quick test_training_overhead_counts ] );
+      ( "phase1",
+        [ Alcotest.test_case "all kinds on XiangShan" `Quick
+            test_all_kinds_trigger_on_xiangshan;
+          Alcotest.test_case "BOOM kinds" `Quick test_boom_kinds;
+          Alcotest.test_case "random training vs tagged BTB" `Quick
+            test_random_training_fails_tagged_btb;
+          Alcotest.test_case "reduction preserves trigger" `Quick
+            test_reduction_keeps_triggering;
+          Alcotest.test_case "reduction zero for exceptions" `Quick
+            test_reduction_zero_for_exceptions;
+          Alcotest.test_case "reduction noop untriggered" `Quick
+            test_reduction_noop_when_untriggered;
+          Alcotest.test_case "window matcher" `Quick test_expected_window_matcher;
+          QCheck_alcotest.to_alcotest prop_generate_never_raises ] );
+      ( "phase2",
+        [ Alcotest.test_case "completion replaces nops" `Quick
+            test_window_completion_replaces_nops;
+          Alcotest.test_case "completion deterministic" `Quick
+            test_window_completion_deterministic;
+          Alcotest.test_case "sanitize" `Quick test_sanitize_keeps_access_block;
+          Alcotest.test_case "disamb stale pointer" `Quick
+            test_disamb_window_uses_stale_pointer;
+          QCheck_alcotest.to_alcotest prop_stimulus_buildable ] );
+      ( "coverage",
+        [ Alcotest.test_case "accumulates" `Quick test_coverage_accumulates;
+          Alcotest.test_case "position insensitive" `Quick
+            test_coverage_position_insensitive;
+          Alcotest.test_case "copy" `Quick test_coverage_copy ] );
+      ( "oracle",
+        [ Alcotest.test_case "dcache leak" `Quick test_oracle_detects_dcache_leak;
+          Alcotest.test_case "attack classification" `Quick
+            test_oracle_attack_classification;
+          Alcotest.test_case "liveness filtering" `Quick
+            test_oracle_liveness_filters_prf;
+          Alcotest.test_case "component mapping" `Quick test_component_mapping ] );
+      ( "robustness",
+        [ Alcotest.test_case "oracle deterministic" `Quick
+            test_oracle_deterministic;
+          Alcotest.test_case "reduction idempotent" `Quick test_reduce_idempotent;
+          Alcotest.test_case "training order irrelevant" `Quick
+            test_trainings_order_irrelevant_for_triggering;
+          Alcotest.test_case "cellift campaign" `Quick
+            test_campaign_cellift_mode_runs;
+          QCheck_alcotest.to_alcotest prop_window_fits_budget ] );
+      ( "extensions",
+        [ Alcotest.test_case "retry determinism" `Quick
+            test_oracle_retries_deterministic;
+          Alcotest.test_case "retry preserves leaks" `Quick
+            test_oracle_retries_finds_at_least_single;
+          Alcotest.test_case "migrate layout" `Quick test_migrate_layout;
+          Alcotest.test_case "migrate exception windows" `Quick
+            test_migrate_exception_windows_still_trigger;
+          Alcotest.test_case "migrate branch windows" `Quick
+            test_migrate_branch_windows_still_trigger ] );
+      ( "campaign",
+        [ Alcotest.test_case "smoke" `Quick test_campaign_smoke;
+          Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "dedup" `Quick test_campaign_dedup;
+          Alcotest.test_case "report" `Quick test_report_rendering;
+          Alcotest.test_case "window groups" `Quick test_window_group ] ) ]

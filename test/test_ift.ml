@@ -1,0 +1,406 @@
+(* Tests for Dvz_ift: propagation policies, dual-DUT shadow co-simulation,
+   the diffIFT/CellIFT distinction, liveness annotations, and taint logs. *)
+
+open Dvz_ir
+module N = Netlist
+module Policy = Dvz_ift.Policy
+module Shadow = Dvz_ift.Shadow
+module Liveness = Dvz_ift.Liveness
+module Taintlog = Dvz_ift.Taintlog
+
+(* --- policy unit tests --------------------------------------------------- *)
+
+let test_and_policy () =
+  (* Policy 1: O_and_t = (A & Bt) | (B & At) | (At & Bt) *)
+  Alcotest.(check int) "zero masks taint" 0
+    (Policy.and_taint ~a:0 ~b:1 ~at:0 ~bt:1);
+  Alcotest.(check int) "one passes taint" 1
+    (Policy.and_taint ~a:1 ~b:1 ~at:0 ~bt:1);
+  Alcotest.(check int) "both tainted" 1
+    (Policy.and_taint ~a:0 ~b:0 ~at:1 ~bt:1)
+
+let test_or_policy () =
+  Alcotest.(check int) "one masks taint" 0
+    (Policy.or_taint ~a:1 ~b:0 ~at:0 ~bt:1);
+  Alcotest.(check int) "zero passes taint" 1
+    (Policy.or_taint ~a:0 ~b:0 ~at:0 ~bt:1)
+
+let test_mux_policy_cellift () =
+  (* tainted selector always propagates control taint under CellIFT *)
+  let t =
+    Policy.mux_taint Policy.Cellift ~width:8 ~s:0 ~s_diff:false ~a:0xAA ~b:0x55
+      ~st:1 ~at:0 ~bt:0 ~ab_xor:0xFF
+  in
+  Alcotest.(check int) "cellift control taint" 0xFF t
+
+let test_mux_policy_diffift_suppressed () =
+  let t =
+    Policy.mux_taint Policy.Diffift ~width:8 ~s:0 ~s_diff:false ~a:0xAA ~b:0x55
+      ~st:1 ~at:0 ~bt:0 ~ab_xor:0xFF
+  in
+  Alcotest.(check int) "identical selectors suppress control taint" 0 t
+
+let test_mux_policy_diffift_propagates () =
+  let t =
+    Policy.mux_taint Policy.Diffift ~width:8 ~s:0 ~s_diff:true ~a:0xAA ~b:0x55
+      ~st:1 ~at:0 ~bt:0 ~ab_xor:0xFF
+  in
+  Alcotest.(check int) "differing selectors propagate" 0xFF t
+
+let test_mux_policy_data () =
+  let t =
+    Policy.mux_taint Policy.Diffift ~width:8 ~s:1 ~s_diff:false ~a:0 ~b:0
+      ~st:0 ~at:0x0F ~bt:0xF0 ~ab_xor:0
+  in
+  Alcotest.(check int) "selects B taint when s=1" 0xF0 t
+
+let test_cmp_policy () =
+  Alcotest.(check int) "cellift taints on tainted input" 1
+    (Policy.cmp_taint Policy.Cellift ~o_diff:false ~at:1 ~bt:0);
+  Alcotest.(check int) "diffift needs output difference" 0
+    (Policy.cmp_taint Policy.Diffift ~o_diff:false ~at:1 ~bt:0);
+  Alcotest.(check int) "diffift taints on difference" 1
+    (Policy.cmp_taint Policy.Diffift ~o_diff:true ~at:1 ~bt:0)
+
+let test_arith_policy () =
+  Alcotest.(check int) "carry spreads upward" 0b11111100
+    (Policy.arith_taint ~width:8 ~at:0b100 ~bt:0);
+  Alcotest.(check int) "clean stays clean" 0
+    (Policy.arith_taint ~width:8 ~at:0 ~bt:0)
+
+let test_reg_en_policy () =
+  (* enable tainted, instances agree -> diffIFT keeps data-only semantics *)
+  let t =
+    Policy.reg_en_taint Policy.Diffift ~width:4 ~en:true ~en_diff:false ~ent:1
+      ~dt:0 ~qt:0 ~dq_xor:0xF
+  in
+  Alcotest.(check int) "suppressed" 0 t;
+  let t2 =
+    Policy.reg_en_taint Policy.Cellift ~width:4 ~en:true ~en_diff:false ~ent:1
+      ~dt:0 ~qt:0 ~dq_xor:0xF
+  in
+  Alcotest.(check int) "cellift propagates" 0xF t2
+
+let test_mem_policies () =
+  Alcotest.(check int) "read ctrl diffift gated" 0
+    (Policy.mem_read_ctrl Policy.Diffift ~width:8 ~addrt:1 ~addr_diff:false);
+  Alcotest.(check int) "read ctrl diffift fires" 0xFF
+    (Policy.mem_read_ctrl Policy.Diffift ~width:8 ~addrt:1 ~addr_diff:true);
+  Alcotest.(check int) "write ctrl cellift fires" 0xFF
+    (Policy.mem_write_ctrl Policy.Cellift ~width:8 ~wen:true ~went:0
+       ~wen_diff:false ~addrt:1 ~addr_diff:false)
+
+(* --- shadow co-simulation ------------------------------------------------ *)
+
+(* out = secret & mask: data taint flows through AND. *)
+let test_shadow_data_taint () =
+  let nl = N.create () in
+  let secret = N.input nl 8 and mask = N.input nl 8 in
+  let out = N.and_ nl secret mask in
+  let sh = Shadow.create Policy.Diffift nl in
+  Shadow.set_input_pair sh secret 0xAB 0x54;
+  Shadow.set_input sh mask 0xFF;
+  Shadow.eval sh;
+  Alcotest.(check int) "instance A value" 0xAB (Shadow.peek_a sh out);
+  Alcotest.(check int) "instance B value" 0x54 (Shadow.peek_b sh out);
+  Alcotest.(check bool) "output tainted" true (Shadow.taint_of sh out <> 0)
+
+let test_shadow_zero_mask_clears () =
+  let nl = N.create () in
+  let secret = N.input nl 8 and mask = N.input nl 8 in
+  let out = N.and_ nl secret mask in
+  let sh = Shadow.create Policy.Diffift nl in
+  Shadow.set_input_pair sh secret 0xAB 0x54;
+  Shadow.set_input sh mask 0x00;
+  Shadow.eval sh;
+  Alcotest.(check int) "zero mask stops taint" 0 (Shadow.taint_of sh out)
+
+let test_shadow_register_taint () =
+  let nl = N.create () in
+  let d = N.input nl 8 in
+  let q = N.reg nl 8 in
+  N.reg_connect nl q ~d ();
+  let sh = Shadow.create Policy.Diffift nl in
+  Shadow.set_input_pair sh d 1 2;
+  Shadow.cycle sh;
+  Alcotest.(check bool) "register captured taint" true (Shadow.taint_of sh q <> 0);
+  Shadow.set_input sh d 7;
+  Shadow.cycle sh;
+  Alcotest.(check int) "clean write clears register taint" 0 (Shadow.taint_of sh q)
+
+let test_shadow_untainted_stays_clean () =
+  let rob = Circuits.rob ~entries:4 ~uopc_width:7 in
+  let sh = Shadow.create Policy.Diffift rob.Circuits.rob_nl in
+  Shadow.set_input sh rob.Circuits.enq_valid 1;
+  Shadow.set_input sh rob.Circuits.enq_uopc 0x3;
+  Shadow.set_input sh rob.Circuits.rollback 0;
+  Shadow.set_input sh rob.Circuits.rollback_idx 0;
+  for _ = 1 to 8 do Shadow.cycle sh done;
+  Alcotest.(check int) "no taint without tainted inputs" 0
+    (Shadow.taint_bit_sum sh)
+
+(* The Figure 2 over-tainting scenario. *)
+let rollback_taints mode =
+  let rob = Circuits.rob ~entries:8 ~uopc_width:7 in
+  let sh = Shadow.create mode rob.Circuits.rob_nl in
+  for i = 0 to 3 do
+    Shadow.set_input sh rob.Circuits.enq_valid 1;
+    Shadow.set_input sh rob.Circuits.enq_uopc (0x10 + i);
+    Shadow.set_input sh rob.Circuits.rollback 0;
+    Shadow.set_input sh rob.Circuits.rollback_idx 0;
+    Shadow.cycle sh
+  done;
+  Shadow.set_input sh rob.Circuits.enq_valid 0;
+  Shadow.set_input sh rob.Circuits.rollback 1;
+  Shadow.set_input sh rob.Circuits.rollback_idx 1;
+  Shadow.set_input_taint sh rob.Circuits.rollback_idx 0x7;
+  Shadow.cycle sh;
+  Shadow.set_input sh rob.Circuits.rollback 0;
+  Shadow.set_input_taint sh rob.Circuits.rollback_idx 0;
+  Shadow.set_input sh rob.Circuits.enq_valid 1;
+  Shadow.set_input sh rob.Circuits.enq_uopc 0x55;
+  Shadow.cycle sh;
+  Array.fold_left
+    (fun acc q -> if Shadow.taint_of sh q <> 0 then acc + 1 else acc)
+    0 rob.Circuits.uopc
+
+let test_cellift_overtaints_rollback () =
+  Alcotest.(check int) "all entries tainted" 8 (rollback_taints Policy.Cellift)
+
+let test_diffift_suppresses_rollback () =
+  Alcotest.(check int) "no entry tainted" 0 (rollback_taints Policy.Diffift)
+
+let test_diffift_divergent_selection_taints () =
+  (* When the two instances genuinely select differently, diffIFT must
+     propagate the control taint. *)
+  let nl = N.create () in
+  let sel = N.input nl 1 and a = N.input nl 8 and b = N.input nl 8 in
+  let out = N.mux nl sel a b in
+  let sh = Shadow.create Policy.Diffift nl in
+  Shadow.set_input_pair sh sel 0 1;
+  Shadow.set_input sh a 0x11;
+  Shadow.set_input sh b 0x22;
+  Shadow.eval sh;
+  Alcotest.(check bool) "divergent mux taints output" true
+    (Shadow.taint_of sh out <> 0)
+
+let test_mem_taint_via_address () =
+  let nl = N.create () in
+  let m = N.mem nl ~name:"m" ~width:8 ~depth:8 () in
+  let addr = N.input nl 3 in
+  let rdata = N.mem_read nl m addr in
+  let sh = Shadow.create Policy.Diffift nl in
+  (* secret-dependent address: the two instances read different words *)
+  Shadow.set_input_pair sh addr 1 2;
+  Shadow.eval sh;
+  Alcotest.(check bool) "address-diff read is tainted" true
+    (Shadow.taint_of sh rdata <> 0)
+
+let test_mem_write_taint () =
+  let nl = N.create () in
+  let m = N.mem nl ~name:"m" ~width:8 ~depth:8 () in
+  let wen = N.input nl 1 and addr = N.input nl 3 and data = N.input nl 8 in
+  N.mem_write nl m ~wen ~addr ~data;
+  let sh = Shadow.create Policy.Diffift nl in
+  Shadow.set_input sh wen 1;
+  Shadow.set_input sh addr 5;
+  Shadow.set_input_pair sh data 0xAA 0x55;
+  Shadow.cycle sh;
+  Alcotest.(check bool) "written word tainted" true (Shadow.mem_taint sh m 5 <> 0);
+  Alcotest.(check int) "other word clean" 0 (Shadow.mem_taint sh m 4)
+
+let test_tainted_by_module () =
+  let nl = N.create () in
+  let q =
+    N.scoped nl "alpha" (fun () ->
+        let d = N.input nl 4 in
+        let q = N.reg nl 4 in
+        N.reg_connect nl q ~d ();
+        (d, q))
+  in
+  let d, q = q in
+  let sh = Shadow.create Policy.Diffift nl in
+  Shadow.set_input_pair sh d 1 2;
+  Shadow.cycle sh;
+  ignore q;
+  let counts = Shadow.tainted_by_module sh in
+  Alcotest.(check bool) "alpha has a tainted register" true
+    (List.exists (fun (m, c) -> m = "alpha" && c = 1) counts)
+
+let test_clear_taints () =
+  let nl = N.create () in
+  let d = N.input nl 4 in
+  let q = N.reg nl 4 in
+  N.reg_connect nl q ~d ();
+  let sh = Shadow.create Policy.Diffift nl in
+  Shadow.set_input_pair sh d 1 2;
+  Shadow.cycle sh;
+  Shadow.clear_taints sh;
+  Alcotest.(check int) "all clear" 0 (Shadow.taint_bit_sum sh)
+
+(* --- liveness ------------------------------------------------------------ *)
+
+let test_liveness_lfb () =
+  let lfb = Circuits.lfb ~entries:4 ~data_width:8 in
+  let sh = Shadow.create Policy.Diffift lfb.Circuits.lfb_nl in
+  let lv = Liveness.create sh in
+  Liveness.bind_regs lv ~sinks:lfb.Circuits.data ~valid:lfb.Circuits.valid;
+  Alcotest.(check int) "annotation count" 4 (Liveness.annotation_count lv);
+  Shadow.set_input sh lfb.Circuits.retire 0;
+  Shadow.set_input sh lfb.Circuits.retire_idx 0;
+  Shadow.set_input sh lfb.Circuits.fill_valid 1;
+  Shadow.set_input sh lfb.Circuits.fill_idx 2;
+  Shadow.set_input_pair sh lfb.Circuits.fill_data 0xAA 0x55;
+  Shadow.cycle sh;
+  Shadow.eval sh;
+  Alcotest.(check int) "live while valid" 1 (Liveness.live_tainted lv);
+  Shadow.set_input sh lfb.Circuits.fill_valid 0;
+  Shadow.set_input sh lfb.Circuits.retire 1;
+  Shadow.set_input sh lfb.Circuits.retire_idx 2;
+  Shadow.cycle sh;
+  Shadow.eval sh;
+  Alcotest.(check int) "dead after retire" 1 (Liveness.dead_tainted lv);
+  Alcotest.(check int) "not live" 0 (Liveness.live_tainted lv)
+
+let test_liveness_arity_check () =
+  let lfb = Circuits.lfb ~entries:4 ~data_width:8 in
+  let sh = Shadow.create Policy.Diffift lfb.Circuits.lfb_nl in
+  let lv = Liveness.create sh in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Liveness.bind_regs: arity mismatch") (fun () ->
+      Liveness.bind_regs lv ~sinks:lfb.Circuits.data
+        ~valid:(Array.sub lfb.Circuits.valid 0 2))
+
+(* --- taint log ----------------------------------------------------------- *)
+
+let test_taintlog () =
+  let nl = N.create () in
+  let d = N.input nl 4 in
+  let q = N.reg nl 4 in
+  N.reg_connect nl q ~d ();
+  let sh = Shadow.create Policy.Diffift nl in
+  let log = Taintlog.create () in
+  Taintlog.record log sh;
+  Shadow.set_input_pair sh d 1 2;
+  Shadow.cycle sh;
+  Taintlog.record log sh;
+  Alcotest.(check int) "length" 2 (Taintlog.length log);
+  Alcotest.(check (list int)) "totals" [ 0; 4 ] (Taintlog.totals log);
+  Alcotest.(check int) "max" 4 (Taintlog.max_total log);
+  (match Taintlog.final log with
+  | Some e -> Alcotest.(check int) "final tainted regs" 1 e.Taintlog.tainted_regs
+  | None -> Alcotest.fail "expected final entry")
+
+(* --- properties ---------------------------------------------------------- *)
+
+(* diffIFT taints are a subset of CellIFT taints on random circuits. *)
+let prop_diffift_subset_cellift =
+  QCheck.Test.make ~name:"diffIFT taint set under-approximates CellIFT"
+    ~count:40 QCheck.small_int (fun seed ->
+      let rng = Dvz_util.Rng.create seed in
+      let nl = N.create () in
+      let secret = N.input nl 8 in
+      let pub = Array.init 2 (fun _ -> N.input nl 8) in
+      let pool = ref (secret :: Array.to_list pub) in
+      let pick () = Dvz_util.Rng.choose_list rng !pool in
+      let sel = N.input nl 1 in
+      for _ = 1 to 15 do
+        let a = pick () and b = pick () in
+        let s =
+          match Dvz_util.Rng.int rng 6 with
+          | 0 -> N.and_ nl a b
+          | 1 -> N.or_ nl a b
+          | 2 -> N.xor_ nl a b
+          | 3 -> N.add nl a b
+          | 4 -> N.mux nl sel a b
+          | _ -> N.not_ nl a
+        in
+        pool := s :: !pool
+      done;
+      let regs =
+        List.map
+          (fun d ->
+            let q = N.reg nl 8 in
+            N.reg_connect nl q ~d ();
+            q)
+          (List.filteri (fun i _ -> i < 4) !pool)
+      in
+      let drive sh =
+        let r = Dvz_util.Rng.create (seed * 31) in
+        for _ = 1 to 10 do
+          Shadow.set_input_pair sh secret
+            (Dvz_util.Rng.int r 256) (Dvz_util.Rng.int r 256);
+          Array.iter
+            (fun p -> Shadow.set_input sh p (Dvz_util.Rng.int r 256))
+            pub;
+          Shadow.set_input sh sel (Dvz_util.Rng.int r 2);
+          Shadow.cycle sh
+        done
+      in
+      let cell = Shadow.create Policy.Cellift nl in
+      let diff = Shadow.create Policy.Diffift nl in
+      drive cell;
+      drive diff;
+      List.for_all
+        (fun q ->
+          (* every diffIFT-tainted bit is CellIFT-tainted *)
+          Shadow.taint_of diff q land lnot (Shadow.taint_of cell q) = 0)
+        regs)
+
+(* No tainted inputs => no taints anywhere, either mode. *)
+let prop_no_source_no_taint =
+  QCheck.Test.make ~name:"zero secret taint yields zero propagated taint"
+    ~count:30 QCheck.small_int (fun seed ->
+      let rob = Circuits.rob ~entries:4 ~uopc_width:5 in
+      let modes = [ Policy.Cellift; Policy.Diffift ] in
+      List.for_all
+        (fun mode ->
+          let sh = Shadow.create mode rob.Circuits.rob_nl in
+          let rng = Dvz_util.Rng.create seed in
+          for _ = 1 to 12 do
+            Shadow.set_input sh rob.Circuits.enq_valid (Dvz_util.Rng.int rng 2);
+            Shadow.set_input sh rob.Circuits.enq_uopc (Dvz_util.Rng.int rng 32);
+            Shadow.set_input sh rob.Circuits.rollback (Dvz_util.Rng.int rng 2);
+            Shadow.set_input sh rob.Circuits.rollback_idx (Dvz_util.Rng.int rng 4);
+            Shadow.cycle sh
+          done;
+          Shadow.taint_bit_sum sh = 0)
+        modes)
+
+let () =
+  Alcotest.run "dvz_ift"
+    [ ( "policies",
+        [ Alcotest.test_case "and" `Quick test_and_policy;
+          Alcotest.test_case "or" `Quick test_or_policy;
+          Alcotest.test_case "mux cellift" `Quick test_mux_policy_cellift;
+          Alcotest.test_case "mux diffift suppressed" `Quick
+            test_mux_policy_diffift_suppressed;
+          Alcotest.test_case "mux diffift propagates" `Quick
+            test_mux_policy_diffift_propagates;
+          Alcotest.test_case "mux data" `Quick test_mux_policy_data;
+          Alcotest.test_case "comparison" `Quick test_cmp_policy;
+          Alcotest.test_case "arithmetic" `Quick test_arith_policy;
+          Alcotest.test_case "register enable" `Quick test_reg_en_policy;
+          Alcotest.test_case "memories" `Quick test_mem_policies ] );
+      ( "shadow",
+        [ Alcotest.test_case "data taint" `Quick test_shadow_data_taint;
+          Alcotest.test_case "zero mask clears" `Quick test_shadow_zero_mask_clears;
+          Alcotest.test_case "register taint" `Quick test_shadow_register_taint;
+          Alcotest.test_case "clean run stays clean" `Quick
+            test_shadow_untainted_stays_clean;
+          Alcotest.test_case "cellift rollback over-taint" `Quick
+            test_cellift_overtaints_rollback;
+          Alcotest.test_case "diffift rollback suppression" `Quick
+            test_diffift_suppresses_rollback;
+          Alcotest.test_case "divergent mux taints" `Quick
+            test_diffift_divergent_selection_taints;
+          Alcotest.test_case "memory read taint" `Quick test_mem_taint_via_address;
+          Alcotest.test_case "memory write taint" `Quick test_mem_write_taint;
+          Alcotest.test_case "per-module counts" `Quick test_tainted_by_module;
+          Alcotest.test_case "clear" `Quick test_clear_taints;
+          QCheck_alcotest.to_alcotest prop_diffift_subset_cellift;
+          QCheck_alcotest.to_alcotest prop_no_source_no_taint ] );
+      ( "liveness",
+        [ Alcotest.test_case "lfb decoy" `Quick test_liveness_lfb;
+          Alcotest.test_case "arity check" `Quick test_liveness_arity_check ] );
+      ( "taintlog", [ Alcotest.test_case "record" `Quick test_taintlog ] ) ]

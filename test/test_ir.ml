@@ -1,0 +1,351 @@
+(* Tests for Dvz_ir: bit utilities, netlist construction, cycle simulation,
+   demo circuits, and memory flattening. *)
+
+open Dvz_ir
+module N = Netlist
+
+let test_bits_mask () =
+  Alcotest.(check int) "mask 1" 1 (Bits.mask 1);
+  Alcotest.(check int) "mask 8" 255 (Bits.mask 8);
+  Alcotest.check_raises "mask 0" (Invalid_argument "Bits.mask: bad width")
+    (fun () -> ignore (Bits.mask 0))
+
+let test_bits_trunc () =
+  Alcotest.(check int) "trunc" 0x34 (Bits.trunc 8 0x1234);
+  Alcotest.(check int) "trunc negative" 0xFF (Bits.trunc 8 (-1))
+
+let test_bits_bit () =
+  Alcotest.(check int) "bit 0" 1 (Bits.bit 0b101 0);
+  Alcotest.(check int) "bit 1" 0 (Bits.bit 0b101 1)
+
+let test_bits_replicate () =
+  Alcotest.(check int) "rep 1" 0xF (Bits.replicate 4 1);
+  Alcotest.(check int) "rep 0" 0 (Bits.replicate 4 0)
+
+let test_bits_popcount () =
+  Alcotest.(check int) "popcount" 3 (Bits.popcount 0b1011);
+  Alcotest.(check int) "zero" 0 (Bits.popcount 0)
+
+let test_bits_spread_up () =
+  Alcotest.(check int) "spread from bit1" 0b11111110 (Bits.spread_up 8 0b10);
+  Alcotest.(check int) "zero" 0 (Bits.spread_up 8 0)
+
+(* A tiny combinational circuit: out = (a & b) | ~c. *)
+let test_sim_comb () =
+  let nl = N.create () in
+  let a = N.input nl 4 and b = N.input nl 4 and c = N.input nl 4 in
+  let out = N.or_ nl (N.and_ nl a b) (N.not_ nl c) in
+  let sim = Sim.create nl in
+  Sim.set_input sim a 0b1100;
+  Sim.set_input sim b 0b1010;
+  Sim.set_input sim c 0b0110;
+  Sim.eval sim;
+  Alcotest.(check int) "and-or-not" (0b1000 lor 0b1001) (Sim.peek sim out)
+
+let test_sim_arith () =
+  let nl = N.create () in
+  let a = N.input nl 8 and b = N.input nl 8 in
+  let sum = N.add nl a b in
+  let diff = N.sub nl a b in
+  let eq = N.eq nl a b in
+  let lt = N.lt nl a b in
+  let sim = Sim.create nl in
+  Sim.set_input sim a 200;
+  Sim.set_input sim b 100;
+  Sim.eval sim;
+  Alcotest.(check int) "add wraps" ((200 + 100) land 255) (Sim.peek sim sum);
+  Alcotest.(check int) "sub" 100 (Sim.peek sim diff);
+  Alcotest.(check int) "eq" 0 (Sim.peek sim eq);
+  Alcotest.(check int) "lt" 0 (Sim.peek sim lt)
+
+let test_sim_mux_select () =
+  let nl = N.create () in
+  let s = N.input nl 1 and a = N.input nl 8 and b = N.input nl 8 in
+  let m = N.mux nl s a b in
+  let sim = Sim.create nl in
+  Sim.set_input sim a 11;
+  Sim.set_input sim b 22;
+  Sim.set_input sim s 0;
+  Sim.eval sim;
+  Alcotest.(check int) "s=0 selects a" 11 (Sim.peek sim m);
+  Sim.set_input sim s 1;
+  Sim.eval sim;
+  Alcotest.(check int) "s=1 selects b" 22 (Sim.peek sim m)
+
+let test_sim_slice_concat () =
+  let nl = N.create () in
+  let a = N.input nl 8 in
+  let hi = N.slice nl a ~lo:4 ~width:4 in
+  let lo = N.slice nl a ~lo:0 ~width:4 in
+  let swapped = N.concat nl lo hi in
+  let sim = Sim.create nl in
+  Sim.set_input sim a 0xA5;
+  Sim.eval sim;
+  Alcotest.(check int) "nibble swap" 0x5A (Sim.peek sim swapped)
+
+let test_sim_register_latch () =
+  let c = Circuits.counter ~width:8 in
+  let sim = Sim.create c.Circuits.cnt_nl in
+  Sim.set_input sim c.Circuits.cnt_en 1;
+  for _ = 1 to 5 do Sim.cycle sim done;
+  Alcotest.(check int) "counted to 5" 5 (Sim.peek sim c.Circuits.cnt_q);
+  Sim.set_input sim c.Circuits.cnt_en 0;
+  for _ = 1 to 3 do Sim.cycle sim done;
+  Alcotest.(check int) "enable gates" 5 (Sim.peek sim c.Circuits.cnt_q)
+
+let test_sim_memory () =
+  let nl = N.create () in
+  let m = N.mem nl ~name:"m" ~width:8 ~depth:16 () in
+  let wen = N.input nl 1 and waddr = N.input nl 4 and wdata = N.input nl 8 in
+  let raddr = N.input nl 4 in
+  N.mem_write nl m ~wen ~addr:waddr ~data:wdata;
+  let rdata = N.mem_read nl m raddr in
+  let sim = Sim.create nl in
+  Sim.set_input sim wen 1;
+  Sim.set_input sim waddr 3;
+  Sim.set_input sim wdata 0x7E;
+  Sim.cycle sim;
+  Sim.set_input sim wen 0;
+  Sim.set_input sim raddr 3;
+  Sim.eval sim;
+  Alcotest.(check int) "write then read" 0x7E (Sim.peek sim rdata);
+  Alcotest.(check int) "backdoor read" 0x7E (Sim.peek_mem sim m 3)
+
+let test_unconnected_register_rejected () =
+  let nl = N.create () in
+  let _q = N.reg nl 4 in
+  Alcotest.check_raises "unconnected"
+    (Failure "Sim.create: unconnected register ") (fun () ->
+      ignore (Sim.create nl))
+
+let test_width_mismatch_rejected () =
+  let nl = N.create () in
+  let a = N.input nl 4 and b = N.input nl 8 in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Netlist: operand widths differ") (fun () ->
+      ignore (N.and_ nl a b))
+
+let test_modules_and_scoping () =
+  let nl = N.create () in
+  N.scoped nl "top" (fun () ->
+      ignore (N.input nl 1);
+      N.scoped nl "sub" (fun () -> ignore (N.input nl 1)));
+  let mods = N.modules nl in
+  Alcotest.(check bool) "top present" true (List.mem "top" mods);
+  Alcotest.(check bool) "nested tag" true (List.mem "top.sub" mods)
+
+let test_rob_circuit_update () =
+  let rob = Circuits.rob ~entries:4 ~uopc_width:7 in
+  let sim = Sim.create rob.Circuits.rob_nl in
+  let push op =
+    Sim.set_input sim rob.Circuits.enq_valid 1;
+    Sim.set_input sim rob.Circuits.enq_uopc op;
+    Sim.set_input sim rob.Circuits.rollback 0;
+    Sim.cycle sim
+  in
+  (* tail starts at 0: first enqueue writes entry 0 and bumps the tail *)
+  push 0x11;
+  push 0x22;
+  Sim.eval sim;
+  Alcotest.(check int) "entry0" 0x11 (Sim.peek sim rob.Circuits.uopc.(0));
+  Alcotest.(check int) "entry1" 0x22 (Sim.peek sim rob.Circuits.uopc.(1));
+  Alcotest.(check int) "tail at 2" 2 (Sim.peek sim rob.Circuits.tail)
+
+let test_rob_rollback () =
+  let rob = Circuits.rob ~entries:4 ~uopc_width:7 in
+  let sim = Sim.create rob.Circuits.rob_nl in
+  Sim.set_input sim rob.Circuits.enq_valid 1;
+  Sim.set_input sim rob.Circuits.enq_uopc 0x1;
+  Sim.set_input sim rob.Circuits.rollback 0;
+  Sim.cycle sim;
+  Sim.cycle sim;
+  Sim.set_input sim rob.Circuits.enq_valid 0;
+  Sim.set_input sim rob.Circuits.rollback 1;
+  Sim.set_input sim rob.Circuits.rollback_idx 0;
+  Sim.cycle sim;
+  Sim.eval sim;
+  Alcotest.(check int) "tail restored" 0 (Sim.peek sim rob.Circuits.tail)
+
+let test_lfb_circuit () =
+  let lfb = Circuits.lfb ~entries:4 ~data_width:8 in
+  let sim = Sim.create lfb.Circuits.lfb_nl in
+  Sim.set_input sim lfb.Circuits.fill_valid 1;
+  Sim.set_input sim lfb.Circuits.fill_idx 1;
+  Sim.set_input sim lfb.Circuits.fill_data 0x99;
+  Sim.set_input sim lfb.Circuits.retire 0;
+  Sim.cycle sim;
+  Sim.eval sim;
+  Alcotest.(check int) "data filled" 0x99 (Sim.peek sim lfb.Circuits.data.(1));
+  Alcotest.(check int) "valid set" 1 (Sim.peek sim lfb.Circuits.valid.(1));
+  Sim.set_input sim lfb.Circuits.fill_valid 0;
+  Sim.set_input sim lfb.Circuits.retire 1;
+  Sim.set_input sim lfb.Circuits.retire_idx 1;
+  Sim.cycle sim;
+  Sim.eval sim;
+  Alcotest.(check int) "valid cleared" 0 (Sim.peek sim lfb.Circuits.valid.(1));
+  Alcotest.(check int) "stale data remains" 0x99 (Sim.peek sim lfb.Circuits.data.(1))
+
+(* Flattening: the flattened netlist must be cycle-for-cycle equivalent. *)
+let test_flatten_equivalent () =
+  let nl = N.create () in
+  let m = N.mem nl ~name:"m" ~width:8 ~depth:8 () in
+  let wen = N.input nl 1 and waddr = N.input nl 3 and wdata = N.input nl 8 in
+  let raddr = N.input nl 3 in
+  N.mem_write nl m ~wen ~addr:waddr ~data:wdata;
+  let rdata = N.mem_read nl m raddr in
+  let flat, tr = Flatten.flatten_with_map nl in
+  let sim = Sim.create nl and fsim = Sim.create flat in
+  let rng = Dvz_util.Rng.create 77 in
+  for _ = 1 to 200 do
+    let we = Dvz_util.Rng.int rng 2 in
+    let wa = Dvz_util.Rng.int rng 8 in
+    let wd = Dvz_util.Rng.int rng 256 in
+    let ra = Dvz_util.Rng.int rng 8 in
+    Sim.set_input sim wen we;
+    Sim.set_input sim waddr wa;
+    Sim.set_input sim wdata wd;
+    Sim.set_input sim raddr ra;
+    Sim.set_input fsim (tr wen) we;
+    Sim.set_input fsim (tr waddr) wa;
+    Sim.set_input fsim (tr wdata) wd;
+    Sim.set_input fsim (tr raddr) ra;
+    Sim.eval sim;
+    Sim.eval fsim;
+    Alcotest.(check int) "read ports agree" (Sim.peek sim rdata)
+      (Sim.peek fsim (tr rdata));
+    Sim.step sim;
+    Sim.step fsim
+  done
+
+let test_flatten_grows_cells () =
+  let nl = N.create () in
+  let m = N.mem nl ~name:"m" ~width:8 ~depth:64 () in
+  let wen = N.input nl 1 and waddr = N.input nl 6 and wdata = N.input nl 8 in
+  N.mem_write nl m ~wen ~addr:waddr ~data:wdata;
+  ignore (N.mem_read nl m waddr);
+  let flat = Flatten.flatten nl in
+  Alcotest.(check bool) "flattening inflates the cell count" true
+    (Flatten.cell_count flat > 4 * Flatten.cell_count nl)
+
+(* Random straight-line circuit programs for property testing. *)
+let random_netlist seed =
+  let rng = Dvz_util.Rng.create seed in
+  let nl = N.create () in
+  let inputs = Array.init 3 (fun _ -> N.input nl 8) in
+  let pool = ref (Array.to_list inputs) in
+  let pick () = Dvz_util.Rng.choose_list rng !pool in
+  for _ = 1 to 20 do
+    let a = pick () and b = pick () in
+    let s =
+      match Dvz_util.Rng.int rng 6 with
+      | 0 -> N.and_ nl a b
+      | 1 -> N.or_ nl a b
+      | 2 -> N.xor_ nl a b
+      | 3 -> N.add nl a b
+      | 4 -> N.sub nl a b
+      | _ -> N.not_ nl a
+    in
+    pool := s :: !pool
+  done;
+  (nl, inputs, List.hd !pool)
+
+let prop_flatten_identity_no_mem =
+  QCheck.Test.make ~name:"flatten is identity-equivalent without memories"
+    ~count:30 QCheck.small_int (fun seed ->
+      let nl, inputs, out = random_netlist seed in
+      let flat, tr = Flatten.flatten_with_map nl in
+      let sim = Sim.create nl and fsim = Sim.create flat in
+      let rng = Dvz_util.Rng.create (seed + 1) in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        Array.iter
+          (fun i ->
+            let v = Dvz_util.Rng.int rng 256 in
+            Sim.set_input sim i v;
+            Sim.set_input fsim (tr i) v)
+          inputs;
+        Sim.eval sim;
+        Sim.eval fsim;
+        if Sim.peek sim out <> Sim.peek fsim (tr out) then ok := false
+      done;
+      !ok)
+
+let prop_xor_self_zero =
+  QCheck.Test.make ~name:"x xor x evaluates to 0" ~count:100 QCheck.small_int
+    (fun v ->
+      let nl = N.create () in
+      let a = N.input nl 8 in
+      let z = N.xor_ nl a a in
+      let sim = Sim.create nl in
+      Sim.set_input sim a v;
+      Sim.eval sim;
+      Sim.peek sim z = 0)
+
+(* --- VCD ------------------------------------------------------------------ *)
+
+let test_vcd_header_and_changes () =
+  let c = Circuits.counter ~width:4 in
+  let vcd =
+    Vcd.dump_simulation c.Circuits.cnt_nl ~cycles:5 ~drive:(fun sim _ ->
+        Sim.set_input sim c.Circuits.cnt_en 1)
+  in
+  let contains sub =
+    let n = String.length sub and m = String.length vcd in
+    let rec go i = i + n <= m && (String.sub vcd i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header" true (contains "$enddefinitions");
+  Alcotest.(check bool) "declares q" true (contains " q ");
+  Alcotest.(check bool) "scope from module tag" true
+    (contains "$scope module counter");
+  Alcotest.(check bool) "binary values" true (contains "b0011");
+  Alcotest.(check bool) "timestamps" true (contains "#4")
+
+let test_vcd_only_changes_dumped () =
+  let c = Circuits.counter ~width:4 in
+  let vcd =
+    Vcd.dump_simulation c.Circuits.cnt_nl ~cycles:6 ~drive:(fun sim _ ->
+        Sim.set_input sim c.Circuits.cnt_en 0)
+  in
+  (* with the counter disabled, q never changes after time 0: at most the
+     initial dump plus the final timestamp *)
+  let q_lines =
+    List.filter
+      (fun l -> String.length l > 0 && l.[0] = 'b')
+      (String.split_on_char '\n' vcd)
+  in
+  Alcotest.(check int) "single value record for q" 1 (List.length q_lines)
+
+let () =
+  Alcotest.run "dvz_ir"
+    [ ( "bits",
+        [ Alcotest.test_case "mask" `Quick test_bits_mask;
+          Alcotest.test_case "trunc" `Quick test_bits_trunc;
+          Alcotest.test_case "bit" `Quick test_bits_bit;
+          Alcotest.test_case "replicate" `Quick test_bits_replicate;
+          Alcotest.test_case "popcount" `Quick test_bits_popcount;
+          Alcotest.test_case "spread_up" `Quick test_bits_spread_up ] );
+      ( "sim",
+        [ Alcotest.test_case "combinational" `Quick test_sim_comb;
+          Alcotest.test_case "arithmetic" `Quick test_sim_arith;
+          Alcotest.test_case "mux" `Quick test_sim_mux_select;
+          Alcotest.test_case "slice/concat" `Quick test_sim_slice_concat;
+          Alcotest.test_case "register latch" `Quick test_sim_register_latch;
+          Alcotest.test_case "memory" `Quick test_sim_memory;
+          Alcotest.test_case "unconnected register" `Quick
+            test_unconnected_register_rejected;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch_rejected;
+          Alcotest.test_case "module scoping" `Quick test_modules_and_scoping;
+          QCheck_alcotest.to_alcotest prop_xor_self_zero ] );
+      ( "circuits",
+        [ Alcotest.test_case "rob update" `Quick test_rob_circuit_update;
+          Alcotest.test_case "rob rollback" `Quick test_rob_rollback;
+          Alcotest.test_case "lfb decoy" `Quick test_lfb_circuit ] );
+      ( "vcd",
+        [ Alcotest.test_case "header and changes" `Quick test_vcd_header_and_changes;
+          Alcotest.test_case "change-only dumping" `Quick
+            test_vcd_only_changes_dumped ] );
+      ( "flatten",
+        [ Alcotest.test_case "memory equivalence" `Quick test_flatten_equivalent;
+          Alcotest.test_case "cell inflation" `Quick test_flatten_grows_cells;
+          QCheck_alcotest.to_alcotest prop_flatten_identity_no_mem ] ) ]
