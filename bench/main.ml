@@ -60,6 +60,24 @@ let micro_tests () =
                   Dejavuzz.Campaign.iterations = 1;
                   rng_seed = Dvz_util.Rng.next rng })))
   in
+  (* Same unit of work with telemetry fully enabled, events formatted as
+     JSONL and written to /dev/null: the acceptance bar is <5% overhead
+     over the bare iteration above. *)
+  let devnull = open_out "/dev/null" in
+  let telemetry =
+    { Dejavuzz.Campaign.quiet with
+      Dejavuzz.Campaign.t_events = Dvz_obs.Events.to_channel devnull;
+      t_metrics = Dvz_obs.Metrics.create () }
+  in
+  let fig7_tel =
+    Test.make ~name:"fig7/one-campaign-iteration-telemetry"
+      (Staged.stage (fun () ->
+           ignore
+             (Dejavuzz.Campaign.run ~telemetry boom
+                { Dejavuzz.Campaign.default_options with
+                  Dejavuzz.Campaign.iterations = 1;
+                  rng_seed = Dvz_util.Rng.next rng })))
+  in
   (* Liveness study's unit of work: one oracle analysis. *)
   let completed = Dejavuzz.Window_gen.complete boom meltdown in
   let liveness =
@@ -67,7 +85,19 @@ let micro_tests () =
       (Staged.stage (fun () ->
            ignore (Dejavuzz.Oracle.analyze boom ~secret completed)))
   in
-  [ table3; table4; fig6; fig7; liveness ]
+  (* Telemetry primitives on the hot path. *)
+  let obs_reg = Dvz_obs.Metrics.create () in
+  let obs_counter = Dvz_obs.Metrics.counter obs_reg "bench_counter" in
+  let obs_hist = Dvz_obs.Metrics.histogram obs_reg "bench_hist" in
+  let obs_incr =
+    Test.make ~name:"obs/counter-incr"
+      (Staged.stage (fun () -> Dvz_obs.Metrics.incr obs_counter))
+  in
+  let obs_observe =
+    Test.make ~name:"obs/histogram-observe"
+      (Staged.stage (fun () -> Dvz_obs.Metrics.observe obs_hist 0.003))
+  in
+  [ table3; table4; fig6; fig7; fig7_tel; liveness; obs_incr; obs_observe ]
 
 let run_micro () =
   banner "Bechamel micro-benchmarks (one per experiment)";

@@ -28,19 +28,90 @@ let seed_t =
   Arg.(value & opt int 1
        & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for reproducible runs.")
 
+(* --- telemetry wiring ----------------------------------------------------- *)
+
+let telemetry_t =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"Write structured JSONL campaign events to FILE \
+                 ('-' for stdout); inspect saved logs with 'replay-log'.")
+
+let progress_t =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Print a progress line (coverage, findings, throughput) to \
+                 stderr periodically.")
+
+let progress_every_t =
+  Arg.(value & opt int 10
+       & info [ "progress-every" ] ~docv:"N"
+           ~doc:"Progress line period in iterations.")
+
+let metrics_t =
+  let fmt =
+    Arg.enum [ ("json", `Json); ("prometheus", `Prometheus); ("none", `None) ]
+  in
+  Arg.(value & opt fmt `None
+       & info [ "metrics" ] ~docv:"FMT"
+           ~doc:"After the run, dump the metrics registry to stderr as \
+                 'json' or 'prometheus' text.")
+
+(* Builds a Campaign.telemetry from the shared flags, runs [k] with it and
+   closes the event file afterwards. *)
+let with_telemetry file progress every k =
+  let chan =
+    match file with
+    | None -> None
+    | Some "-" -> Some (stdout, false)
+    | Some f -> (
+        try Some (open_out f, true)
+        with Sys_error e ->
+          Printf.eprintf "dejavuzz: cannot open telemetry file: %s\n" e;
+          exit 1)
+  in
+  let sink =
+    match chan with
+    | None -> Dvz_obs.Events.null
+    | Some (c, _) -> Dvz_obs.Events.to_channel c
+  in
+  let telemetry =
+    { Campaign.quiet with
+      Campaign.t_events = sink;
+      t_progress_every = (if progress then max 1 every else 0);
+      t_progress = prerr_endline }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match chan with
+      | Some (c, close) -> if close then close_out c else flush c
+      | None -> ())
+    (fun () -> k telemetry)
+
+let dump_metrics = function
+  | `None -> ()
+  | `Json ->
+      prerr_endline (Dvz_obs.Exporters.render_json Dvz_obs.Metrics.default)
+  | `Prometheus ->
+      prerr_string (Dvz_obs.Exporters.prometheus Dvz_obs.Metrics.default)
+
 let fuzz_cmd =
-  let run cfg iterations rng_seed random_training no_coverage =
+  let run cfg iterations rng_seed random_training no_coverage telemetry_file
+      progress progress_every metrics =
     let options =
       { Campaign.default_options with
         Campaign.iterations; rng_seed;
         style = (if random_training then `Random else `Derived);
         coverage_guided = not no_coverage }
     in
-    let stats = Campaign.run cfg options in
+    let stats =
+      with_telemetry telemetry_file progress progress_every (fun telemetry ->
+          Campaign.run ~telemetry cfg options)
+    in
     print_string (Dejavuzz.Report.summary stats);
     print_string
       (Dejavuzz.Report.table5 ~core_name:cfg.Cfg.name
-         stats.Campaign.s_findings)
+         stats.Campaign.s_findings);
+    dump_metrics metrics
   in
   let random_training =
     Arg.(value & flag
@@ -55,7 +126,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a DejaVuzz fuzzing campaign.")
     Term.(const run $ core_t $ iterations_t 500 $ seed_t $ random_training
-          $ no_coverage)
+          $ no_coverage $ telemetry_t $ progress_t $ progress_every_t
+          $ metrics_t)
 
 let table2_cmd =
   Cmd.v
@@ -91,16 +163,18 @@ let table4_cmd =
     Term.(const run $ reps)
 
 let table5_cmd =
-  let run iterations rng_seed =
+  let run iterations rng_seed telemetry_file progress progress_every =
     let results =
-      [ E.Table5.run ~iterations ~rng_seed Cfg.boom_small;
-        E.Table5.run ~iterations ~rng_seed Cfg.xiangshan_minimal ]
+      with_telemetry telemetry_file progress progress_every (fun telemetry ->
+          E.Table5.run_many ~iterations ~rng_seed ~telemetry
+            [ Cfg.boom_small; Cfg.xiangshan_minimal ])
     in
     print_string (E.Table5.render results)
   in
   Cmd.v
     (Cmd.info "table5" ~doc:"Discovered transient execution bug classes.")
-    Term.(const run $ iterations_t 1200 $ seed_t)
+    Term.(const run $ iterations_t 1200 $ seed_t $ telemetry_t $ progress_t
+          $ progress_every_t)
 
 let fig6_cmd =
   Cmd.v
@@ -109,9 +183,13 @@ let fig6_cmd =
           $ const ())
 
 let fig7_cmd =
-  let run cfg iterations trials rng_seed =
-    print_string
-      (E.Fig7.render (E.Fig7.run ~iterations ~trials ~rng_seed cfg))
+  let run cfg iterations trials rng_seed telemetry_file progress
+      progress_every =
+    let result =
+      with_telemetry telemetry_file progress progress_every (fun telemetry ->
+          E.Fig7.run ~iterations ~trials ~rng_seed ~telemetry cfg)
+    in
+    print_string (E.Fig7.render result)
   in
   let trials =
     Arg.(value & opt int 5
@@ -119,7 +197,8 @@ let fig7_cmd =
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Coverage growth: DejaVuzz vs DejaVuzz- vs SpecDoctor.")
-    Term.(const run $ core_t $ iterations_t 1000 $ trials $ seed_t)
+    Term.(const run $ core_t $ iterations_t 1000 $ trials $ seed_t
+          $ telemetry_t $ progress_t $ progress_every_t)
 
 let attack_arg =
   let parse s =
@@ -134,22 +213,56 @@ let attack_arg =
   let print fmt a = Format.pp_print_string fmt (E.Attacks.to_string a) in
   Arg.conv (parse, print)
 
+(* §7 workflow: "developers usually only need simulation waveform files to
+   pinpoint bugs" — replay the attack's slot stream through the Figure 2
+   RoB circuit and dump a standard VCD any waveform viewer opens. *)
+let attack_vcd cfg attack file =
+  let tc = E.Attacks.build cfg attack in
+  let stim = Dejavuzz.Packet.stimulus ~secret:E.Attacks.secret tc in
+  let core = Dvz_uarch.Core.create cfg stim in
+  let slots = Array.of_list (Dvz_uarch.Core.run core) in
+  let entries = 8 in
+  let rob = Dvz_ir.Circuits.rob ~entries ~uopc_width:7 in
+  let cycles = min (Array.length slots) 4096 in
+  let vcd =
+    Dvz_ir.Vcd.dump_simulation rob.Dvz_ir.Circuits.rob_nl ~cycles
+      ~drive:(fun sim c ->
+        let s = slots.(c) in
+        let module Ef = Dvz_uarch.Effect in
+        Dvz_ir.Sim.set_input sim rob.Dvz_ir.Circuits.enq_valid 1;
+        Dvz_ir.Sim.set_input sim rob.Dvz_ir.Circuits.enq_uopc
+          (Dvz_isa.Encode.encode s.Ef.sl_insn land 0x7F);
+        Dvz_ir.Sim.set_input sim rob.Dvz_ir.Circuits.rollback
+          (if s.Ef.sl_window_closed then 1 else 0);
+        Dvz_ir.Sim.set_input sim rob.Dvz_ir.Circuits.rollback_idx
+          (c mod entries))
+  in
+  Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc vcd);
+  Printf.eprintf "wrote %s (%d cycles)\n" file cycles
+
 let trace_cmd =
-  let run cfg attack =
+  let run cfg attack vcd_file =
     let tc = E.Attacks.build cfg attack in
     let stim = Dejavuzz.Packet.stimulus ~secret:E.Attacks.secret tc in
     let dc = Dvz_uarch.Dualcore.create cfg stim in
     let result = Dvz_uarch.Dualcore.run dc in
-    print_string (Dvz_uarch.Trace.render_result result)
+    print_string (Dvz_uarch.Trace.render_result result);
+    Option.iter (attack_vcd cfg attack) vcd_file
   in
   let attack =
     Arg.(value & opt attack_arg E.Attacks.Meltdown
          & info [ "attack" ] ~docv:"NAME"
              ~doc:"Attack test case: v1, v2, meltdown, v4 or rsb.")
   in
+  let vcd =
+    Arg.(value & opt (some string) None
+         & info [ "vcd" ] ~docv:"FILE"
+             ~doc:"Also dump a VCD waveform of the run's RoB activity to \
+                   FILE (section 7: waveforms pinpoint bugs).")
+  in
   Cmd.v
     (Cmd.info "trace" ~doc:"Run one curated attack and print the dual-DUT report.")
-    Term.(const run $ core_t $ attack)
+    Term.(const run $ core_t $ attack $ vcd)
 
 let migrate_cmd =
   let run cfg rng_seed =
@@ -163,8 +276,7 @@ let migrate_cmd =
       let layout = Dejavuzz.Migrate.migrate tc in
       print_string (Dejavuzz.Migrate.render_assembly layout);
       let secret = Array.make Dvz_soc.Layout.secret_dwords 0x42 in
-      Printf.printf "# migrated window still triggers: %b
-"
+      Printf.printf "# migrated window still triggers: %b\n"
         (Dejavuzz.Migrate.runs_on_flat_memory cfg ~secret tc)
     end
   in
@@ -200,10 +312,29 @@ let liveness_cmd =
        ~doc:"Replay SpecDoctor candidates through the liveness oracle.")
     Term.(const run $ iterations_t 150 $ seed_t)
 
+let replay_log_cmd =
+  let run file =
+    match Dejavuzz.Replay.of_file file with
+    | Ok summary -> print_string summary
+    | Error e ->
+        Printf.eprintf "replay-log: %s\n" e;
+        exit 1
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"JSONL event log written by --telemetry.")
+  in
+  Cmd.v
+    (Cmd.info "replay-log"
+       ~doc:"Re-render a saved JSONL campaign event log into the human \
+             end-of-run summary.")
+    Term.(const run $ file)
+
 let main =
   let doc = "DejaVuzz: transient-execution bug fuzzing (OCaml reproduction)" in
   Cmd.group (Cmd.info "dejavuzz" ~doc)
     [ fuzz_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd; fig6_cmd;
-      fig7_cmd; liveness_cmd; trace_cmd; migrate_cmd; bugs_cmd; ablation_cmd ]
+      fig7_cmd; liveness_cmd; trace_cmd; migrate_cmd; bugs_cmd; ablation_cmd;
+      replay_log_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,8 @@
 module Rng = Dvz_util.Rng
+module Clock = Dvz_obs.Clock
+module Metrics = Dvz_obs.Metrics
+module Events = Dvz_obs.Events
+module Json = Dvz_obs.Json
 
 type finding = {
   fd_attack : [ `Meltdown | `Spectre ];
@@ -21,6 +25,17 @@ let default_options =
   { iterations = 200; coverage_guided = true; style = `Derived;
     rng_seed = 1; fresh_seed_prob = 0.35;
     taint_mode = Dvz_ift.Policy.Diffift }
+
+type telemetry = {
+  t_events : Events.sink;
+  t_metrics : Metrics.t;
+  t_progress_every : int;
+  t_progress : string -> unit;
+}
+
+let quiet =
+  { t_events = Events.null; t_metrics = Metrics.default;
+    t_progress_every = 0; t_progress = ignore }
 
 type stats = {
   s_options : options;
@@ -55,47 +70,135 @@ let findings_of_analysis ~iteration seed (a : Oracle.analysis) =
                 fd_iteration = iteration })
         a.Oracle.a_leaks
 
-let run cfg options =
+let attack_name = function `Meltdown -> "meltdown" | `Spectre -> "spectre"
+let leak_kind_name = function `Timing -> "timing" | `Encode -> "encode"
+let style_name = function `Derived -> "derived" | `Random -> "random"
+
+let taint_mode_name = Dvz_ift.Policy.mode_name
+
+let finding_event f =
+  [ ("type", Json.Str "finding");
+    ("iteration", Json.Int f.fd_iteration);
+    ("attack", Json.Str (attack_name f.fd_attack));
+    ("window", Json.Str (Seed.kind_name f.fd_window));
+    ("kind", Json.Str (leak_kind_name f.fd_kind));
+    ("components", Json.Arr (List.map (fun c -> Json.Str c) f.fd_components)) ]
+
+let run ?(telemetry = quiet) cfg options =
+  let tel = telemetry in
+  let clk = Metrics.clock tel.t_metrics in
+  let events_on = not (Events.is_null tel.t_events) in
+  let m_iters =
+    Metrics.counter tel.t_metrics ~help:"Campaign iterations executed"
+      "dvz_campaign_iterations_total"
+  in
+  let m_dedup =
+    Metrics.counter tel.t_metrics
+      ~help:"Findings dropped as duplicates of a known bug class"
+      "dvz_campaign_dedup_hits_total"
+  in
+  let g_corpus =
+    Metrics.gauge tel.t_metrics ~help:"Current corpus size"
+      "dvz_campaign_corpus_size"
+  in
+  let g_tput =
+    Metrics.gauge tel.t_metrics
+      ~help:"Simulated cycles per wall-clock second"
+      "dvz_campaign_cycles_per_sec"
+  in
+  let h_phase1 =
+    Metrics.histogram tel.t_metrics
+      ~help:"Phase 1 (trigger generation/evaluation/reduction) seconds"
+      "dvz_phase1_seconds"
+  in
+  let h_phase2 =
+    Metrics.histogram tel.t_metrics
+      ~help:"Phase 2 (window completion) seconds" "dvz_phase2_seconds"
+  in
+  let h_phase3 =
+    Metrics.histogram tel.t_metrics
+      ~help:"Phase 3 (dual-DUT simulation + oracles) seconds"
+      "dvz_phase3_seconds"
+  in
+  let t_start = Clock.now clk in
+  let sim_cycles = ref 0 in
   let rng = Rng.create options.rng_seed in
   let secret =
-    Array.init Dvz_soc.Layout.secret_dwords (fun _ -> Rng.int rng 0xFFFF_FFFF)
+    (* Full 32-bit draws: [Rng.int rng 0xFFFF_FFFF] would exclude the
+       all-ones dword (exclusive upper bound). *)
+    Array.init Dvz_soc.Layout.secret_dwords (fun _ ->
+        Rng.next rng land 0xFFFF_FFFF)
   in
   let coverage = Coverage.create () in
   let curve = Array.make options.iterations 0 in
   let corpus : Packet.testcase list ref = ref [] in
   let seen = Hashtbl.create 32 in
   let findings = ref [] in
+  let n_findings = ref 0 in
   let first_bug = ref None in
   let triggered = ref 0 in
+  if events_on then
+    Events.emit tel.t_events
+      [ ("type", Json.Str "campaign_start");
+        ("core", Json.Str cfg.Dvz_uarch.Config.name);
+        ("iterations", Json.Int options.iterations);
+        ("rng_seed", Json.Int options.rng_seed);
+        ("coverage_guided", Json.Bool options.coverage_guided);
+        ("style", Json.Str (style_name options.style));
+        ("fresh_seed_prob", Json.Float options.fresh_seed_prob);
+        ("taint_mode", Json.Str (taint_mode_name options.taint_mode)) ];
   for it = 0 to options.iterations - 1 do
-    (* Seed selection: mutate a corpus entry's window, or start fresh. *)
-    let phase1 =
+    Metrics.incr m_iters;
+    (* Phase 1 — seed selection: mutate a corpus entry's window, or
+       generate, evaluate and reduce a fresh trigger. *)
+    let t0 = Clock.now clk in
+    let seed_kind, phase1 =
       if !corpus = [] || Rng.chance rng options.fresh_seed_prob then begin
         let seed = Seed.random rng in
         let tc = Trigger_gen.generate ~style:options.style cfg seed in
-        if Trigger_opt.evaluate cfg tc then begin
-          let reduced, _ = Trigger_opt.reduce cfg tc in
-          Some reduced
-        end
-        else None
+        let outcome =
+          if Trigger_opt.evaluate cfg tc then begin
+            let reduced, _ = Trigger_opt.reduce cfg tc in
+            Some reduced
+          end
+          else None
+        in
+        (seed.Seed.kind, outcome)
       end
       else begin
         let tc = Rng.choose_list rng !corpus in
         let seed = Seed.mutate_window rng tc.Packet.seed in
-        Some { tc with Packet.seed = seed }
+        (seed.Seed.kind, Some { tc with Packet.seed = seed })
       end
     in
+    let p1 = Clock.now clk -. t0 in
+    Metrics.observe h_phase1 p1;
+    let p2 = ref 0.0 and p3 = ref 0.0 in
+    let coverage_delta = ref 0 and new_findings = ref 0 and cycles = ref 0 in
     (match phase1 with
     | None -> ()
     | Some tc ->
         incr triggered;
+        (* Phase 2 — complete the transient window with encoding gadgets. *)
+        let t1 = Clock.now clk in
         let completed = Window_gen.complete cfg tc in
+        p2 := Clock.now clk -. t1;
+        Metrics.observe h_phase2 !p2;
+        (* Phase 3 — dual-DUT simulation, coverage, oracles. *)
+        let t2 = Clock.now clk in
         let analysis =
           Oracle.analyze ~mode:options.taint_mode cfg ~secret completed
         in
+        p3 := Clock.now clk -. t2;
+        Metrics.observe h_phase3 !p3;
+        cycles :=
+          analysis.Oracle.a_result.Dvz_uarch.Dualcore.r_cycles_a
+          + analysis.Oracle.a_result.Dvz_uarch.Dualcore.r_cycles_b;
+        sim_cycles := !sim_cycles + !cycles;
         let fresh =
           Coverage.observe_result coverage analysis.Oracle.a_result
         in
+        coverage_delta := fresh;
         (* Corpus policy is where the DejaVuzz- ablation differs: the
            guided fuzzer accumulates every coverage-increasing seed and
            keeps mutating all of them; the blind variant only carries the
@@ -108,20 +211,64 @@ let run cfg options =
             corpus := List.filteri (fun i _ -> i < 64) !corpus
         end
         else corpus := [ tc ];
+        Metrics.set g_corpus (float_of_int (List.length !corpus));
         List.iter
           (fun f ->
             let key = dedup_key f in
             if not (Hashtbl.mem seen key) then begin
               Hashtbl.replace seen key ();
               findings := f :: !findings;
-              if !first_bug = None then first_bug := Some it
-            end)
+              incr n_findings;
+              incr new_findings;
+              if !first_bug = None then first_bug := Some it;
+              if events_on then Events.emit tel.t_events (finding_event f)
+            end
+            else Metrics.incr m_dedup)
           (findings_of_analysis ~iteration:it tc.Packet.seed analysis));
-    curve.(it) <- Coverage.points coverage
+    curve.(it) <- Coverage.points coverage;
+    if events_on then
+      Events.emit tel.t_events
+        [ ("type", Json.Str "iteration");
+          ("iteration", Json.Int it);
+          ("seed_kind", Json.Str (Seed.kind_name seed_kind));
+          ("phase1_triggered", Json.Bool (phase1 <> None));
+          ("coverage_delta", Json.Int !coverage_delta);
+          ("coverage", Json.Int curve.(it));
+          ("new_findings", Json.Int !new_findings);
+          ("cycles", Json.Int !cycles);
+          ("phase1_s", Json.Float p1);
+          ("phase2_s", Json.Float !p2);
+          ("phase3_s", Json.Float !p3) ];
+    if tel.t_progress_every > 0 && (it + 1) mod tel.t_progress_every = 0
+    then begin
+      let elapsed = Float.max 1e-9 (Clock.now clk -. t_start) in
+      let cps = float_of_int !sim_cycles /. elapsed in
+      Metrics.set g_tput cps;
+      tel.t_progress
+        (Printf.sprintf
+           "[%d/%d] coverage=%d findings=%d triggered=%d %.0f cycles/s"
+           (it + 1) options.iterations curve.(it) !n_findings !triggered cps)
+    end
   done;
+  let elapsed = Float.max 1e-9 (Clock.now clk -. t_start) in
+  Metrics.set g_tput (float_of_int !sim_cycles /. elapsed);
+  let final_coverage = Coverage.points coverage in
+  if events_on then begin
+    Events.emit tel.t_events
+      [ ("type", Json.Str "campaign_end");
+        ("iterations", Json.Int options.iterations);
+        ("triggered", Json.Int !triggered);
+        ("coverage", Json.Int final_coverage);
+        ("findings", Json.Int !n_findings);
+        ( "first_bug",
+          match !first_bug with None -> Json.Null | Some i -> Json.Int i );
+        ("sim_cycles", Json.Int !sim_cycles);
+        ("elapsed_s", Json.Float elapsed) ];
+    Events.flush tel.t_events
+  end;
   { s_options = options;
     s_coverage_curve = curve;
     s_findings = List.rev !findings;
     s_first_bug = !first_bug;
-    s_final_coverage = Coverage.points coverage;
+    s_final_coverage = final_coverage;
     s_triggered = !triggered }

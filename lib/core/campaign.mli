@@ -29,6 +29,26 @@ type options = {
 
 val default_options : options
 
+(** Telemetry wiring for a campaign.  [quiet] (the default) records
+    always-on metrics into {!Dvz_obs.Metrics.default}, emits no events
+    and prints no progress; telemetry never influences fuzzing decisions,
+    so results are identical with any telemetry configuration. *)
+type telemetry = {
+  t_events : Dvz_obs.Events.sink;
+      (** JSONL stream: [campaign_start], one [iteration] record per
+          round (seed kind, phase-1 trigger outcome, coverage delta, new
+          findings, per-phase seconds, simulated cycles), a [finding]
+          record per deduplicated bug class, and [campaign_end]. *)
+  t_metrics : Dvz_obs.Metrics.t;
+      (** Registry receiving phase spans, iteration/dedup counters and
+          the corpus-size / cycles-per-second gauges; its clock drives
+          all campaign timing. *)
+  t_progress_every : int;  (** emit progress every N iterations; 0 = off *)
+  t_progress : string -> unit;  (** receives each rendered progress line *)
+}
+
+val quiet : telemetry
+
 type stats = {
   s_options : options;
   s_coverage_curve : int array;  (** covered points after each iteration *)
@@ -38,7 +58,7 @@ type stats = {
   s_triggered : int;             (** iterations whose window fired *)
 }
 
-val run : Dvz_uarch.Config.t -> options -> stats
+val run : ?telemetry:telemetry -> Dvz_uarch.Config.t -> options -> stats
 
 val dedup_key : finding -> string
 (** Two findings with the same key are the same bug class. *)

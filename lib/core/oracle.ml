@@ -1,6 +1,21 @@
 module Dualcore = Dvz_uarch.Dualcore
 module Core = Dvz_uarch.Core
 module Elem = Dvz_uarch.Elem
+module Metrics = Dvz_obs.Metrics
+
+let m_analyses =
+  Metrics.counter Metrics.default ~help:"Oracle analyses performed"
+    "dvz_oracle_analyses_total"
+
+let m_timing_leaks =
+  Metrics.counter Metrics.default
+    ~help:"Constant-time oracle violations (timing leaks) reported"
+    "dvz_oracle_timing_leaks_total"
+
+let m_encode_leaks =
+  Metrics.counter Metrics.default
+    ~help:"Taint-encoding oracle violations (encode leaks) reported"
+    "dvz_oracle_encode_leaks_total"
 
 type component = string
 
@@ -100,6 +115,12 @@ let analyze ?(use_liveness = true) ?(mode = Dvz_ift.Policy.Diffift) cfg
   if encoded <> [] then
     leaks :=
       !leaks @ [ Encode { sinks = encoded; components = sink_components encoded } ];
+  Metrics.incr m_analyses;
+  List.iter
+    (function
+      | Timing _ -> Metrics.incr m_timing_leaks
+      | Encode _ -> Metrics.incr m_encode_leaks)
+    !leaks;
   { a_result = result;
     a_leaks = !leaks;
     a_attack = attack_of_result result;

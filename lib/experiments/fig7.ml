@@ -27,25 +27,48 @@ let aggregate name trials_curves =
   done;
   { cv_fuzzer = name; cv_mean = mean; cv_ci = ci }
 
-let run ?(iterations = 1000) ?(trials = 5) ?(rng_seed = 7) cfg =
+let telemetry_for telemetry ~fuzzer ~trial =
+  match telemetry with
+  | None -> None
+  | Some tel ->
+      (* Trials run on parallel domains into one shared sink: label every
+         event and progress line with its origin. *)
+      Some
+        { tel with
+          Campaign.t_events =
+            Dvz_obs.Events.with_context tel.Campaign.t_events
+              [ ("fuzzer", Dvz_obs.Json.Str fuzzer);
+                ("trial", Dvz_obs.Json.Int trial) ];
+          t_progress =
+            (fun line ->
+              tel.Campaign.t_progress
+                (Printf.sprintf "%s/trial%d %s" fuzzer trial line)) }
+
+let run ?(iterations = 1000) ?(trials = 5) ?(rng_seed = 7) ?telemetry cfg =
   (* Trials are independent deterministic computations: run them on
      parallel domains, as the paper's multi-threaded fuzzing manager runs
      its RTL simulation instances. *)
   let trial_list f =
-    Dvz_util.Parallel.map f (List.init trials (fun t -> rng_seed + (100 * t)))
+    Dvz_util.Parallel.map f (List.init trials (fun t -> (t, rng_seed + (100 * t))))
   in
   let dejavuzz =
-    trial_list (fun s ->
-        (Campaign.run cfg (Variants.full_options ~iterations ~rng_seed:s))
+    trial_list (fun (t, s) ->
+        (Campaign.run
+           ?telemetry:(telemetry_for telemetry ~fuzzer:"DejaVuzz" ~trial:t)
+           cfg
+           (Variants.full_options ~iterations ~rng_seed:s))
           .Campaign.s_coverage_curve)
   in
   let minus =
-    trial_list (fun s ->
-        (Campaign.run cfg (Variants.minus_options ~iterations ~rng_seed:s))
+    trial_list (fun (t, s) ->
+        (Campaign.run
+           ?telemetry:(telemetry_for telemetry ~fuzzer:"DejaVuzz-" ~trial:t)
+           cfg
+           (Variants.minus_options ~iterations ~rng_seed:s))
           .Campaign.s_coverage_curve)
   in
   let specdoctor =
-    trial_list (fun s ->
+    trial_list (fun (_, s) ->
         (Sd.campaign ~rng_seed:s ~iterations cfg).Sd.sd_coverage_curve)
   in
   let curves =

@@ -23,6 +23,10 @@ type result = {
 }
 
 val run : ?iterations:int -> ?trials:int -> ?rng_seed:int ->
-  Dvz_uarch.Config.t -> result
+  ?telemetry:Dejavuzz.Campaign.telemetry -> Dvz_uarch.Config.t -> result
+(** [telemetry] is shared by all DejaVuzz/DejaVuzz⁻ campaigns; each
+    trial's events gain [fuzzer]/[trial] context fields and its progress
+    lines a ["<fuzzer>/trial<N> "] prefix (trials run on parallel
+    domains, so lines from different trials interleave). *)
 
 val render : result -> string

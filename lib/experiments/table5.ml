@@ -31,17 +31,35 @@ let specdoctor_reach cfg ~rng_seed =
     List.sort_uniq compare comps
   end
 
-let run ?(iterations = 1200) ?(rng_seed = 13) cfg =
+let run ?(iterations = 1200) ?(rng_seed = 13) ?telemetry cfg =
+  let telemetry =
+    match telemetry with
+    | None -> None
+    | Some tel ->
+        (* run_many puts each core on its own domain sharing one sink:
+           label events and progress lines with the core. *)
+        Some
+          { tel with
+            Campaign.t_events =
+              Dvz_obs.Events.with_context tel.Campaign.t_events
+                [ ("core", Dvz_obs.Json.Str cfg.Cfg.name) ];
+            t_progress =
+              (fun line ->
+                tel.Campaign.t_progress
+                  (Printf.sprintf "%s %s" cfg.Cfg.name line)) }
+  in
   let stats =
-    Campaign.run cfg
+    Campaign.run ?telemetry cfg
       { Campaign.default_options with Campaign.iterations; rng_seed }
   in
   { core = cfg.Cfg.name; stats;
     specdoctor_components = specdoctor_reach cfg ~rng_seed }
 
-let run_many ?iterations ?rng_seed cfgs =
+let run_many ?iterations ?rng_seed ?telemetry cfgs =
   (* Per-core campaigns are independent: one domain each. *)
-  Dvz_util.Parallel.map (fun cfg -> run ?iterations ?rng_seed cfg) cfgs
+  Dvz_util.Parallel.map
+    (fun cfg -> run ?iterations ?rng_seed ?telemetry cfg)
+    cfgs
 
 let render results =
   let buf = Buffer.create 2048 in

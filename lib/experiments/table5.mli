@@ -12,10 +12,15 @@ type result = {
 }
 
 val run :
-  ?iterations:int -> ?rng_seed:int -> Dvz_uarch.Config.t -> result
+  ?iterations:int -> ?rng_seed:int ->
+  ?telemetry:Dejavuzz.Campaign.telemetry -> Dvz_uarch.Config.t -> result
+(** [telemetry] events gain a [core] context field; progress lines are
+    prefixed with the core name. *)
 
 val run_many :
-  ?iterations:int -> ?rng_seed:int -> Dvz_uarch.Config.t list -> result list
+  ?iterations:int -> ?rng_seed:int ->
+  ?telemetry:Dejavuzz.Campaign.telemetry ->
+  Dvz_uarch.Config.t list -> result list
 (** Runs one campaign per core on parallel domains. *)
 
 val render : result list -> string

@@ -1,0 +1,13 @@
+type t = { read : unit -> float }
+
+let real = { read = Unix.gettimeofday }
+
+let fake ?(step = 1.0) () =
+  let t = ref 0.0 in
+  { read =
+      (fun () ->
+        let v = !t in
+        t := v +. step;
+        v) }
+
+let now c = c.read ()

@@ -1,0 +1,19 @@
+(** Injectable monotonic clocks.
+
+    All telemetry timing flows through a clock value so that tests can
+    substitute a deterministic tick clock and produce byte-identical
+    span durations and event logs, while production code reads the real
+    wall clock.  A clock is cheap to call (one closure invocation). *)
+
+type t
+
+val real : t
+(** The system clock ([Unix.gettimeofday]), in seconds. *)
+
+val fake : ?step:float -> unit -> t
+(** [fake ()] is a deterministic tick clock starting at [0.0]: every
+    {!now} call returns the current value and then advances it by
+    [step] (default [1.0]).  Two fake clocks are independent. *)
+
+val now : t -> float
+(** Current time in seconds.  On a {!fake} clock this also ticks. *)

@@ -1,0 +1,35 @@
+type target = Null | Buf of Buffer.t | Chan of out_channel
+
+type sink = {
+  target : target;
+  context : (string * Json.t) list;
+  mutex : Mutex.t;
+}
+
+let make target = { target; context = []; mutex = Mutex.create () }
+let null = make Null
+let to_buffer b = make (Buf b)
+let to_channel c = make (Chan c)
+let with_context sink fields = { sink with context = sink.context @ fields }
+let is_null sink = sink.target = Null
+
+let emit sink fields =
+  match sink.target with
+  | Null -> ()
+  | target ->
+      let line = Json.to_string (Json.Obj (fields @ sink.context)) in
+      Mutex.lock sink.mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock sink.mutex)
+        (fun () ->
+          match target with
+          | Null -> ()
+          | Buf b ->
+              Buffer.add_string b line;
+              Buffer.add_char b '\n'
+          | Chan c ->
+              output_string c line;
+              output_char c '\n')
+
+let flush sink =
+  match sink.target with Chan c -> flush c | Null | Buf _ -> ()

@@ -1,0 +1,109 @@
+let hist_json (h : Metrics.hist_snapshot) =
+  Json.Obj
+    [ ( "buckets",
+        Json.Obj
+          (List.map
+             (fun (bound, count) ->
+               let key =
+                 if bound = infinity then "+Inf"
+                 else Json.to_string (Json.Float bound)
+               in
+               (key, Json.Int count))
+             h.Metrics.hs_buckets) );
+      ("count", Json.Int h.Metrics.hs_count);
+      ("sum", Json.Float h.Metrics.hs_sum) ]
+
+let snapshot_json (s : Metrics.snapshot) =
+  Json.Obj
+    [ ( "counters",
+        Json.Obj
+          (List.map (fun (n, _, v) -> (n, Json.Int v)) s.Metrics.sn_counters) );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun (n, _, v) -> (n, Json.Float v)) s.Metrics.sn_gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (n, _, h) -> (n, hist_json h)) s.Metrics.sn_histograms)
+      ) ]
+
+let render_json t = Json.to_string (snapshot_json (Metrics.snapshot t))
+
+let sanitize_name name =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let s = String.map (fun c -> if ok c then c else '_') name in
+  if s = "" then "_"
+  else if s.[0] >= '0' && s.[0] <= '9' then "_" ^ s
+  else s
+
+let escape_with specials s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      if c = '\n' then Buffer.add_string buf "\\n"
+      else begin
+        if List.mem c specials then Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      end)
+    s;
+  Buffer.contents buf
+
+let escape_help = escape_with [ '\\' ]
+let escape_label = escape_with [ '\\'; '"' ]
+
+let float_str f =
+  if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    string_of_int (int_of_float f)
+  else Printf.sprintf "%.12g" f
+
+let header buf name help kind =
+  if help <> "" then
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+let prometheus t =
+  let s = Metrics.snapshot t in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, help, v) ->
+      let name = sanitize_name name in
+      header buf name help "counter";
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
+    s.Metrics.sn_counters;
+  List.iter
+    (fun (name, help, v) ->
+      let name = sanitize_name name in
+      header buf name help "gauge";
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" name (float_str v)))
+    s.Metrics.sn_gauges;
+  List.iter
+    (fun (name, help, h) ->
+      let name = sanitize_name name in
+      header buf name help "histogram";
+      let cum = ref 0 in
+      List.iter
+        (fun (bound, count) ->
+          if bound < infinity then begin
+            cum := !cum + count;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+                 (escape_label (float_str bound))
+                 !cum)
+          end)
+        h.Metrics.hs_buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.hs_count);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %s\n" name (float_str h.Metrics.hs_sum));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count %d\n" name h.Metrics.hs_count))
+    s.Metrics.sn_histograms;
+  Buffer.contents buf

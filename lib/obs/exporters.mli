@@ -1,0 +1,29 @@
+(** Registry exporters: a JSON snapshot and Prometheus text exposition.
+
+    The JSON form is what the CLI prints on demand and what dashboards
+    would scrape from a file; the Prometheus form follows the text
+    exposition format (HELP/TYPE comments, [_bucket{le="..."}] series
+    with cumulative counts) so the registry can be dropped behind any
+    standard scraper unchanged. *)
+
+val snapshot_json : Metrics.snapshot -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}]; each
+    histogram carries [buckets] (upper bound → count, non-cumulative),
+    [count] and [sum]. *)
+
+val render_json : Metrics.t -> string
+(** One-line JSON of {!snapshot_json} of the registry. *)
+
+val sanitize_name : string -> string
+(** Maps a metric name into the Prometheus charset
+    [[a-zA-Z0-9_:]] (other bytes become ['_'], a leading digit gains
+    ['_']). *)
+
+val escape_help : string -> string
+(** HELP-comment escaping: backslash and newline. *)
+
+val escape_label : string -> string
+(** Label-value escaping: backslash, double quote and newline. *)
+
+val prometheus : Metrics.t -> string
+(** Full text exposition of the registry's current snapshot. *)

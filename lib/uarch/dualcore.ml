@@ -1,4 +1,20 @@
 open Dvz_soc
+module Metrics = Dvz_obs.Metrics
+
+let m_runs =
+  Metrics.counter Metrics.default ~help:"Dual-DUT simulations completed"
+    "dvz_sim_runs_total"
+
+let m_cycles =
+  Metrics.counter Metrics.default
+    ~help:"Simulated cycles summed over both DUT instances"
+    "dvz_sim_cycles_total"
+
+let g_taint_hwm =
+  Metrics.gauge Metrics.default
+    ~help:"High-water mark of the tainted state-element population in any \
+           single simulation"
+    "dvz_taint_population_hwm"
 
 type log_entry = {
   le_slot : int;
@@ -85,6 +101,11 @@ let step t =
 let collect t =
   let final = Taintstate.tainted_elems t.taint in
   let live, dead = List.partition (Core.live t.core_a) final in
+  Metrics.incr m_runs;
+  Metrics.incr ~by:(Core.cycles t.core_a + Core.cycles t.core_b) m_cycles;
+  Metrics.record_max g_taint_hwm
+    (float_of_int
+       (List.fold_left (fun acc e -> max acc e.le_total) 0 t.log));
   { r_windows_a = Core.windows t.core_a;
     r_windows_b = Core.windows t.core_b;
     r_log = List.rev t.log;

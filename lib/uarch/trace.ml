@@ -36,6 +36,7 @@ let render_windows windows =
   | ws -> String.concat "\n" (List.map window_line ws) ^ "\n"
 
 let render_taint_log ?(every = 1) log =
+  let every = max 1 every in
   let buf = Buffer.create 512 in
   List.iteri
     (fun i (e : Dualcore.log_entry) ->

@@ -1,3 +1,15 @@
+module Metrics = Dvz_obs.Metrics
+
+let m_tasks =
+  Metrics.counter Metrics.default
+    ~help:"Tasks executed by Parallel.map across all domains"
+    "dvz_parallel_tasks_total"
+
+let domain_counter idx =
+  Metrics.counter Metrics.default
+    ~help:"Tasks executed by one Parallel.map worker domain (0 = caller)"
+    (Printf.sprintf "dvz_parallel_tasks_domain_%d" idx)
+
 let available () = Domain.recommended_domain_count ()
 
 let map ?domains f xs =
@@ -5,15 +17,26 @@ let map ?domains f xs =
   let domains =
     match domains with Some d -> d | None -> max 1 (available () - 1)
   in
-  if domains <= 1 || n <= 1 then List.map f xs
+  if domains <= 1 || n <= 1 then begin
+    let m_dom = domain_counter 0 in
+    List.map
+      (fun x ->
+        Metrics.incr m_tasks;
+        Metrics.incr m_dom;
+        f x)
+      xs
+  end
   else begin
     let arr = Array.of_list xs in
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    let worker idx () =
+      let m_dom = domain_counter idx in
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          Metrics.incr m_tasks;
+          Metrics.incr m_dom;
           results.(i) <- Some (f arr.(i));
           go ()
         end
@@ -21,9 +44,9 @@ let map ?domains f xs =
       go ()
     in
     let spawned =
-      List.init (min domains (n - 1)) (fun _ -> Domain.spawn worker)
+      List.init (min domains (n - 1)) (fun i -> Domain.spawn (worker (i + 1)))
     in
-    worker ();
+    worker 0 ();
     List.iter Domain.join spawned;
     Array.to_list
       (Array.map

@@ -1,0 +1,339 @@
+(* Tests for the Dvz_obs telemetry subsystem and its campaign wiring:
+   histogram bucket boundaries, fake-clock spans, JSONL event streams,
+   exporters, replay, and the no-telemetry-influence regression. *)
+
+module Clock = Dvz_obs.Clock
+module Metrics = Dvz_obs.Metrics
+module Events = Dvz_obs.Events
+module Json = Dvz_obs.Json
+module Exporters = Dvz_obs.Exporters
+module Campaign = Dejavuzz.Campaign
+module Cfg = Dvz_uarch.Config
+
+let boom = Cfg.boom_small
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- metrics: counters and gauges ---------------------------------------- *)
+
+let test_counter_gauge_basics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "c" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.(check int) "registration idempotent" 5
+    (Metrics.counter_value (Metrics.counter r "c"));
+  let g = Metrics.gauge r "g" in
+  Metrics.set g 2.5;
+  Metrics.record_max g 1.0;
+  Alcotest.(check (float 0.0)) "max keeps high-water" 2.5 (Metrics.gauge_value g);
+  Metrics.record_max g 7.0;
+  Alcotest.(check (float 0.0)) "max raises" 7.0 (Metrics.gauge_value g);
+  Metrics.reset r;
+  Alcotest.(check int) "reset counter" 0 (Metrics.counter_value c);
+  Alcotest.(check (float 0.0)) "reset gauge" 0.0 (Metrics.gauge_value g)
+
+(* --- metrics: log2 histogram bucket boundaries ---------------------------- *)
+
+let test_histogram_buckets () =
+  (* le semantics: exact powers of two land on their own bound *)
+  Alcotest.(check (float 0.0)) "1.0 -> le 1" 1.0 (Metrics.bucket_upper 1.0);
+  Alcotest.(check (float 0.0)) "2.0 -> le 2" 2.0 (Metrics.bucket_upper 2.0);
+  Alcotest.(check (float 0.0)) "1.5 -> le 2" 2.0 (Metrics.bucket_upper 1.5);
+  Alcotest.(check (float 0.0)) "just above 1 -> le 2" 2.0
+    (Metrics.bucket_upper 1.0000001);
+  Alcotest.(check (float 0.0)) "0.3 -> le 0.5" 0.5 (Metrics.bucket_upper 0.3);
+  Alcotest.(check (float 0.0)) "0.125 -> le 0.125" 0.125
+    (Metrics.bucket_upper 0.125);
+  Alcotest.(check (float 0.0)) "3.9 -> le 4" 4.0 (Metrics.bucket_upper 3.9);
+  Alcotest.(check bool) "overflow bucket is +inf" true
+    (Metrics.bucket_upper 1e40 = infinity);
+  (* non-positive values land in the smallest bucket *)
+  Alcotest.(check bool) "0 lands in the smallest bucket" true
+    (Metrics.bucket_upper 0.0 < 1e-8);
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "h" in
+  List.iter (Metrics.observe h) [ 1.0; 1.5; 2.0; 0.3; 100.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 104.8 (Metrics.histogram_sum h);
+  let snap = Metrics.snapshot r in
+  let _, _, hs = List.hd snap.Metrics.sn_histograms in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "buckets (0.5,1) (1,1) (2,2) (128,1)"
+    [ (0.5, 1); (1.0, 1); (2.0, 2); (128.0, 1) ]
+    hs.Metrics.hs_buckets
+
+(* --- metrics: spans on a fake clock --------------------------------------- *)
+
+let test_fake_clock_span_nesting () =
+  let r = Metrics.create ~clock:(Clock.fake ()) () in
+  (* Tick clock: every read advances by 1.  outer reads at t=0, inner at
+     t=1 and t=2 (duration 1), outer stop reads t=3 (duration 3). *)
+  Metrics.with_span r "outer" (fun () ->
+      Metrics.with_span r "inner" (fun () -> ()));
+  let inner = Metrics.histogram r "inner" and outer = Metrics.histogram r "outer" in
+  Alcotest.(check (float 0.0)) "inner duration" 1.0 (Metrics.histogram_sum inner);
+  Alcotest.(check (float 0.0)) "outer duration" 3.0 (Metrics.histogram_sum outer);
+  Alcotest.(check int) "one observation each" 1 (Metrics.histogram_count inner);
+  (* spans record on raise too *)
+  (try Metrics.with_span r "raising" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "raise still recorded" 1
+    (Metrics.histogram_count (Metrics.histogram r "raising"))
+
+(* --- json ----------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("s", Json.Str "a\"b\\c\nd\t");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.Arr [ Json.Int 1; Json.Str "x"; Json.Obj [] ]) ]
+  in
+  (match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string "{\"u\":\"\\u0041\\u00e9\"}" with
+  | Ok (Json.Obj [ ("u", Json.Str s) ]) ->
+      Alcotest.(check string) "unicode escapes decode to UTF-8" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "unicode parse");
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (match Json.of_string "1 2" with Error _ -> true | Ok _ -> false);
+  (match Json.of_lines "{\"a\":1}\n\n{\"a\":2}\n" with
+  | Ok [ _; _ ] -> ()
+  | _ -> Alcotest.fail "of_lines");
+  Alcotest.(check (option int)) "member/to_int" (Some 7)
+    (Option.bind (Json.member "k" (Json.Obj [ ("k", Json.Int 7) ])) Json.to_int)
+
+(* --- events --------------------------------------------------------------- *)
+
+let test_events_sink_and_context () =
+  let buf = Buffer.create 64 in
+  let sink = Events.to_buffer buf in
+  Alcotest.(check bool) "null is null" true (Events.is_null Events.null);
+  Alcotest.(check bool) "buffer sink is not null" false (Events.is_null sink);
+  let labelled = Events.with_context sink [ ("trial", Json.Int 3) ] in
+  Events.emit labelled [ ("type", Json.Str "x") ];
+  Alcotest.(check string) "context appended"
+    "{\"type\":\"x\",\"trial\":3}\n" (Buffer.contents buf);
+  Events.emit Events.null [ ("type", Json.Str "dropped") ];
+  Alcotest.(check string) "null sink drops"
+    "{\"type\":\"x\",\"trial\":3}\n" (Buffer.contents buf)
+
+(* --- exporters ------------------------------------------------------------ *)
+
+let test_prometheus_render_escaping () =
+  let r = Metrics.create () in
+  let c =
+    Metrics.counter r ~help:"line1\nline2 with back\\slash" "weird name-1"
+  in
+  Metrics.incr c;
+  let text = Exporters.prometheus r in
+  Alcotest.(check bool) "name sanitized" true
+    (String.length text > 0 && contains text "weird_name_1 1\n");
+  Alcotest.(check bool) "help newline escaped" true
+    (contains text "line1\\nline2 with back\\\\slash")
+
+let test_prometheus_histogram_cumulative () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5 ];
+  let text = Exporters.prometheus r in
+  Alcotest.(check bool) "cumulative buckets" true
+    (contains text "lat_bucket{le=\"1\"} 2"
+    && contains text "lat_bucket{le=\"2\"} 3"
+    && contains text "lat_bucket{le=\"+Inf\"} 3"
+    && contains text "lat_count 3")
+
+let test_json_exporter_parses () =
+  let r = Metrics.create () in
+  Metrics.incr (Metrics.counter r "c");
+  Metrics.set (Metrics.gauge r "g") 1.25;
+  Metrics.observe (Metrics.histogram r "h") 3.0;
+  match Json.of_string (Exporters.render_json r) with
+  | Ok j ->
+      Alcotest.(check (option int)) "counter value" (Some 1)
+        (Option.bind
+           (Option.bind (Json.member "counters" j) (Json.member "c"))
+           Json.to_int)
+  | Error e -> Alcotest.fail e
+
+(* --- campaign telemetry --------------------------------------------------- *)
+
+let buffer_telemetry ?(progress_every = 0) () =
+  let buf = Buffer.create 4096 in
+  let lines = ref [] in
+  let tel =
+    { Campaign.t_events = Events.to_buffer buf;
+      t_metrics = Metrics.create ~clock:(Clock.fake ~step:0.001 ()) ();
+      t_progress_every = progress_every;
+      t_progress = (fun l -> lines := l :: !lines) }
+  in
+  (tel, buf, lines)
+
+let small_options iterations rng_seed =
+  { Campaign.default_options with Campaign.iterations; rng_seed }
+
+let test_jsonl_golden_3_iterations () =
+  let run () =
+    let tel, buf, _ = buffer_telemetry () in
+    ignore (Campaign.run ~telemetry:tel boom (small_options 3 2));
+    Buffer.contents buf
+  in
+  let log = run () in
+  (* fake clock + fixed seed: the whole stream is deterministic *)
+  Alcotest.(check string) "byte-identical across runs" log (run ());
+  match Json.of_lines log with
+  | Error e -> Alcotest.fail e
+  | Ok events ->
+      let typ ev = Option.bind (Json.member "type" ev) Json.to_str in
+      Alcotest.(check (option string)) "starts with campaign_start"
+        (Some "campaign_start")
+        (typ (List.hd events));
+      Alcotest.(check (option string)) "ends with campaign_end"
+        (Some "campaign_end")
+        (typ (List.nth events (List.length events - 1)));
+      let iters = List.filter (fun e -> typ e = Some "iteration") events in
+      Alcotest.(check int) "one record per iteration" 3 (List.length iters);
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun key ->
+              if Json.member key ev = None then
+                Alcotest.failf "iteration record missing %s" key)
+            [ "iteration"; "seed_kind"; "phase1_triggered"; "coverage_delta";
+              "new_findings"; "cycles"; "phase1_s"; "phase2_s"; "phase3_s" ])
+        iters
+
+let test_progress_lines () =
+  let tel, _, lines = buffer_telemetry ~progress_every:5 () in
+  ignore (Campaign.run ~telemetry:tel boom (small_options 10 2));
+  Alcotest.(check int) "every 5 of 10 iterations" 2 (List.length !lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line mentions coverage" true
+        (contains l "coverage="))
+    !lines
+
+let test_phase_spans_recorded () =
+  let tel, _, _ = buffer_telemetry () in
+  ignore (Campaign.run ~telemetry:tel boom (small_options 8 3));
+  let h1 = Metrics.histogram tel.Campaign.t_metrics "dvz_phase1_seconds" in
+  Alcotest.(check int) "phase1 span per iteration" 8 (Metrics.histogram_count h1);
+  let iters =
+    Metrics.counter tel.Campaign.t_metrics "dvz_campaign_iterations_total"
+  in
+  Alcotest.(check int) "iteration counter" 8 (Metrics.counter_value iters)
+
+let stats_equal (a : Campaign.stats) (b : Campaign.stats) =
+  a.Campaign.s_coverage_curve = b.Campaign.s_coverage_curve
+  && a.Campaign.s_findings = b.Campaign.s_findings
+  && a.Campaign.s_first_bug = b.Campaign.s_first_bug
+  && a.Campaign.s_final_coverage = b.Campaign.s_final_coverage
+  && a.Campaign.s_triggered = b.Campaign.s_triggered
+
+let test_telemetry_does_not_change_results () =
+  let options = small_options 25 4 in
+  let plain = Campaign.run boom options in
+  let tel, _, _ = buffer_telemetry ~progress_every:3 () in
+  let instrumented = Campaign.run ~telemetry:tel boom options in
+  Alcotest.(check bool) "bit-identical stats" true
+    (stats_equal plain instrumented)
+
+(* --- replay --------------------------------------------------------------- *)
+
+let test_replay_roundtrip () =
+  let tel, buf, _ = buffer_telemetry () in
+  let stats = Campaign.run ~telemetry:tel boom (small_options 40 3) in
+  Alcotest.(check bool) "campaign found something" true
+    (stats.Campaign.s_findings <> []);
+  match Dejavuzz.Replay.of_string (Buffer.contents buf) with
+  | Ok summary ->
+      Alcotest.(check string) "summary reconstructed from the log alone"
+        (Dejavuzz.Report.summary stats
+        ^ Dejavuzz.Report.table5 ~core_name:boom.Cfg.name
+            stats.Campaign.s_findings)
+        summary
+  | Error e -> Alcotest.fail e
+
+let test_replay_errors () =
+  Alcotest.(check bool) "empty log rejected" true
+    (match Dejavuzz.Replay.of_string "" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "bad json rejected" true
+    (match Dejavuzz.Replay.of_string "{oops\n" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* --- trace ?every clamp --------------------------------------------------- *)
+
+let test_taint_log_every_clamped () =
+  let log =
+    List.init 4 (fun i ->
+        { Dvz_uarch.Dualcore.le_slot = i; le_total = i;
+          le_per_module = [ ("rob", i) ]; le_in_window = false })
+  in
+  let all = Dvz_uarch.Trace.render_taint_log ~every:1 log in
+  Alcotest.(check string) "every:0 clamps to 1" all
+    (Dvz_uarch.Trace.render_taint_log ~every:0 log);
+  Alcotest.(check string) "negative clamps to 1" all
+    (Dvz_uarch.Trace.render_taint_log ~every:(-3) log)
+
+(* --- parallel map counters ------------------------------------------------ *)
+
+let test_parallel_task_counters () =
+  let before =
+    Metrics.counter_value
+      (Metrics.counter Metrics.default "dvz_parallel_tasks_total")
+  in
+  let r = Dvz_util.Parallel.map ~domains:2 (fun x -> x * x) [ 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "results ordered" [ 1; 4; 9; 16 ] r;
+  let after =
+    Metrics.counter_value
+      (Metrics.counter Metrics.default "dvz_parallel_tasks_total")
+  in
+  Alcotest.(check int) "4 tasks counted" 4 (after - before)
+
+let () =
+  Alcotest.run "dvz_obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counters and gauges" `Quick
+            test_counter_gauge_basics;
+          Alcotest.test_case "log2 bucket boundaries" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "fake-clock span nesting" `Quick
+            test_fake_clock_span_nesting ] );
+      ( "json",
+        [ Alcotest.test_case "roundtrip and escapes" `Quick test_json_roundtrip ] );
+      ( "events",
+        [ Alcotest.test_case "sinks and context" `Quick
+            test_events_sink_and_context ] );
+      ( "exporters",
+        [ Alcotest.test_case "prometheus escaping" `Quick
+            test_prometheus_render_escaping;
+          Alcotest.test_case "prometheus cumulative buckets" `Quick
+            test_prometheus_histogram_cumulative;
+          Alcotest.test_case "json snapshot parses" `Quick
+            test_json_exporter_parses ] );
+      ( "campaign",
+        [ Alcotest.test_case "jsonl golden, 3 iterations" `Quick
+            test_jsonl_golden_3_iterations;
+          Alcotest.test_case "progress lines" `Quick test_progress_lines;
+          Alcotest.test_case "phase spans recorded" `Quick
+            test_phase_spans_recorded;
+          Alcotest.test_case "telemetry neutral (regression)" `Quick
+            test_telemetry_does_not_change_results ] );
+      ( "replay",
+        [ Alcotest.test_case "roundtrip" `Quick test_replay_roundtrip;
+          Alcotest.test_case "errors" `Quick test_replay_errors ] );
+      ( "trace",
+        [ Alcotest.test_case "taint log every clamp" `Quick
+            test_taint_log_every_clamped ] );
+      ( "parallel",
+        [ Alcotest.test_case "task counters" `Quick test_parallel_task_counters ] ) ]
