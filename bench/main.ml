@@ -97,7 +97,27 @@ let micro_tests () =
     Test.make ~name:"obs/histogram-observe"
       (Staged.stage (fun () -> Dvz_obs.Metrics.observe obs_hist 0.003))
   in
-  [ table3; table4; fig6; fig7; fig7_tel; liveness; obs_incr; obs_observe ]
+  (* Resilience primitives: the per-slot fault check must cost ~nothing
+     when no fault plan is armed, and checkpointing must be cheap enough
+     to run every few dozen iterations. *)
+  let fault_tick =
+    Test.make ~name:"resilience/fault-tick-disarmed"
+      (Staged.stage (fun () ->
+           ignore (Dvz_resilience.Fault.tick ~cycle:100)))
+  in
+  let snap_path = Filename.temp_file "dvz_bench" ".snap" in
+  at_exit (fun () -> try Sys.remove snap_path with Sys_error _ -> ());
+  let snap_payload = String.init 4096 (fun i -> Char.chr (i mod 256)) in
+  let snapshot_rt =
+    Test.make ~name:"resilience/checkpoint-roundtrip"
+      (Staged.stage (fun () ->
+           Dvz_resilience.Snapshot.save ~path:snap_path ~magic:"bench"
+             ~version:1 snap_payload;
+           ignore
+             (Dvz_resilience.Snapshot.load ~path:snap_path ~magic:"bench")))
+  in
+  [ table3; table4; fig6; fig7; fig7_tel; liveness; obs_incr; obs_observe;
+    fault_tick; snapshot_rt ]
 
 let run_micro () =
   banner "Bechamel micro-benchmarks (one per experiment)";

@@ -94,24 +94,114 @@ let dump_metrics = function
   | `Prometheus ->
       prerr_string (Dvz_obs.Exporters.prometheus Dvz_obs.Metrics.default)
 
+(* --- resilience wiring ---------------------------------------------------- *)
+
+let checkpoint_t =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Atomically snapshot campaign state to FILE every \
+                 --checkpoint-every iterations; restore with --resume.")
+
+let checkpoint_every_t =
+  Arg.(value & opt int 50
+       & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Checkpoint period in iterations.")
+
+let resume_t =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Resume a campaign from a checkpoint written by \
+                 --checkpoint; the completed run is bit-identical to an \
+                 uninterrupted one.  A missing FILE starts fresh.")
+
+let fault_t =
+  Arg.(value & opt_all string []
+       & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Inject a deterministic fault, as \
+                 $(i,ACTION)@$(i,ITERATION):$(i,CYCLE) with ACTION one of \
+                 crash, hang, corrupt or kill (repeatable; comma lists \
+                 allowed).  Exercises the recovery paths this flag's \
+                 siblings provide.")
+
+let max_slots_t =
+  Arg.(value & opt int 50_000
+       & info [ "max-sim-slots" ] ~docv:"N"
+           ~doc:"Watchdog: abort any single dual-DUT simulation after N \
+                 slots and record a Timeout verdict (0 disables).")
+
+let max_seconds_t =
+  Arg.(value & opt (some float) None
+       & info [ "max-sim-seconds" ] ~docv:"S"
+           ~doc:"Watchdog: abort any single dual-DUT simulation after S \
+                 wall-clock seconds.")
+
+let crash_dir_t =
+  Arg.(value & opt (some string) None
+       & info [ "crash-dir" ] ~docv:"DIR"
+           ~doc:"Write one crash-NNNN.json artifact (input seed, \
+                 exception, backtrace) per isolated harness crash.")
+
+let resilience_t =
+  let build checkpoint every resume faults max_slots max_seconds crash_dir =
+    let plan =
+      List.concat_map
+        (fun spec ->
+          match Dvz_resilience.Fault.parse spec with
+          | Ok p -> p
+          | Error e ->
+              Printf.eprintf "dejavuzz: %s\n" e;
+              exit 1)
+        faults
+    in
+    let budget =
+      let max_slots = if max_slots <= 0 then None else Some max_slots in
+      match (max_slots, max_seconds) with
+      | None, None -> None
+      | _ ->
+          Some (Dvz_uarch.Dualcore.budget ?max_slots ?max_wall_s:max_seconds ())
+    in
+    { Campaign.rz_fault_plan = plan;
+      rz_budget = budget;
+      rz_checkpoint = checkpoint;
+      rz_checkpoint_every = every;
+      rz_resume = resume;
+      rz_crash_dir = crash_dir }
+  in
+  Term.(const build $ checkpoint_t $ checkpoint_every_t $ resume_t $ fault_t
+        $ max_slots_t $ max_seconds_t $ crash_dir_t)
+
+(* Injected kills model the harness process dying: distinct exit code so
+   scripts (and CI) can tell "killed, resume me" from real errors. *)
+let handle_faults k =
+  try k () with
+  | Dvz_resilience.Fault.Killed { iteration; cycle; _ } ->
+      Printf.eprintf
+        "dejavuzz: killed by injected fault at iteration %d, cycle %d\n"
+        iteration cycle;
+      exit 3
+  | Invalid_argument msg | Failure msg ->
+      Printf.eprintf "dejavuzz: %s\n" msg;
+      exit 1
+
 let fuzz_cmd =
   let run cfg iterations rng_seed random_training no_coverage telemetry_file
-      progress progress_every metrics =
-    let options =
-      { Campaign.default_options with
-        Campaign.iterations; rng_seed;
-        style = (if random_training then `Random else `Derived);
-        coverage_guided = not no_coverage }
-    in
-    let stats =
-      with_telemetry telemetry_file progress progress_every (fun telemetry ->
-          Campaign.run ~telemetry cfg options)
-    in
-    print_string (Dejavuzz.Report.summary stats);
-    print_string
-      (Dejavuzz.Report.table5 ~core_name:cfg.Cfg.name
-         stats.Campaign.s_findings);
-    dump_metrics metrics
+      progress progress_every metrics resilience =
+    handle_faults (fun () ->
+        let options =
+          { Campaign.default_options with
+            Campaign.iterations; rng_seed;
+            style = (if random_training then `Random else `Derived);
+            coverage_guided = not no_coverage }
+        in
+        let stats =
+          with_telemetry telemetry_file progress progress_every
+            (fun telemetry -> Campaign.run ~telemetry ~resilience cfg options)
+        in
+        print_string (Dejavuzz.Report.summary stats);
+        print_string
+          (Dejavuzz.Report.table5 ~core_name:cfg.Cfg.name
+             stats.Campaign.s_findings);
+        dump_metrics metrics)
   in
   let random_training =
     Arg.(value & flag
@@ -127,7 +217,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Run a DejaVuzz fuzzing campaign.")
     Term.(const run $ core_t $ iterations_t 500 $ seed_t $ random_training
           $ no_coverage $ telemetry_t $ progress_t $ progress_every_t
-          $ metrics_t)
+          $ metrics_t $ resilience_t)
 
 let table2_cmd =
   Cmd.v
@@ -163,18 +253,21 @@ let table4_cmd =
     Term.(const run $ reps)
 
 let table5_cmd =
-  let run iterations rng_seed telemetry_file progress progress_every =
-    let results =
-      with_telemetry telemetry_file progress progress_every (fun telemetry ->
-          E.Table5.run_many ~iterations ~rng_seed ~telemetry
-            [ Cfg.boom_small; Cfg.xiangshan_minimal ])
-    in
-    print_string (E.Table5.render results)
+  let run iterations rng_seed telemetry_file progress progress_every
+      resilience =
+    handle_faults (fun () ->
+        let results =
+          with_telemetry telemetry_file progress progress_every
+            (fun telemetry ->
+              E.Table5.run_many ~iterations ~rng_seed ~telemetry ~resilience
+                [ Cfg.boom_small; Cfg.xiangshan_minimal ])
+        in
+        print_string (E.Table5.render results))
   in
   Cmd.v
     (Cmd.info "table5" ~doc:"Discovered transient execution bug classes.")
     Term.(const run $ iterations_t 1200 $ seed_t $ telemetry_t $ progress_t
-          $ progress_every_t)
+          $ progress_every_t $ resilience_t)
 
 let fig6_cmd =
   Cmd.v
@@ -184,12 +277,15 @@ let fig6_cmd =
 
 let fig7_cmd =
   let run cfg iterations trials rng_seed telemetry_file progress
-      progress_every =
-    let result =
-      with_telemetry telemetry_file progress progress_every (fun telemetry ->
-          E.Fig7.run ~iterations ~trials ~rng_seed ~telemetry cfg)
-    in
-    print_string (E.Fig7.render result)
+      progress_every resilience =
+    handle_faults (fun () ->
+        let result =
+          with_telemetry telemetry_file progress progress_every
+            (fun telemetry ->
+              E.Fig7.run ~iterations ~trials ~rng_seed ~telemetry ~resilience
+                cfg)
+        in
+        print_string (E.Fig7.render result))
   in
   let trials =
     Arg.(value & opt int 5
@@ -198,7 +294,7 @@ let fig7_cmd =
   Cmd.v
     (Cmd.info "fig7" ~doc:"Coverage growth: DejaVuzz vs DejaVuzz- vs SpecDoctor.")
     Term.(const run $ core_t $ iterations_t 1000 $ trials $ seed_t
-          $ telemetry_t $ progress_t $ progress_every_t)
+          $ telemetry_t $ progress_t $ progress_every_t $ resilience_t)
 
 let attack_arg =
   let parse s =

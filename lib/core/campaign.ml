@@ -3,6 +3,13 @@ module Clock = Dvz_obs.Clock
 module Metrics = Dvz_obs.Metrics
 module Events = Dvz_obs.Events
 module Json = Dvz_obs.Json
+module Fault = Dvz_resilience.Fault
+module Snapshot = Dvz_resilience.Snapshot
+
+let m_crashes =
+  Metrics.counter Metrics.default
+    ~help:"Campaign iterations that crashed the harness and were isolated"
+    "dvz_harness_crashes_total"
 
 type finding = {
   fd_attack : [ `Meltdown | `Spectre ];
@@ -37,6 +44,13 @@ let quiet =
   { t_events = Events.null; t_metrics = Metrics.default;
     t_progress_every = 0; t_progress = ignore }
 
+type crash = {
+  cr_iteration : int;
+  cr_seed : Seed.t option;
+  cr_exn : string;
+  cr_backtrace : string;
+}
+
 type stats = {
   s_options : options;
   s_coverage_curve : int array;
@@ -44,7 +58,88 @@ type stats = {
   s_first_bug : int option;
   s_final_coverage : int;
   s_triggered : int;
+  s_crashes : crash list;
+  s_timeouts : int;
 }
+
+type resilience = {
+  rz_fault_plan : Fault.plan;
+  rz_budget : Dvz_uarch.Dualcore.budget option;
+  rz_checkpoint : string option;
+  rz_checkpoint_every : int;
+  rz_resume : string option;
+  rz_crash_dir : string option;
+}
+
+let no_resilience =
+  { rz_fault_plan = []; rz_budget = None; rz_checkpoint = None;
+    rz_checkpoint_every = 50; rz_resume = None; rz_crash_dir = None }
+
+let with_suffix rz suffix =
+  let app = Option.map (fun p -> p ^ "." ^ suffix) in
+  { rz with
+    rz_checkpoint = app rz.rz_checkpoint;
+    rz_resume = app rz.rz_resume }
+
+(* Checkpoint payload: the campaign loop's entire mutable state, as plain
+   data, Marshal'd behind {!Snapshot}'s validated header.  Bump
+   [checkpoint_version] whenever this layout (or anything reachable from
+   it: Seed.t, Packet.testcase, options, finding) changes shape. *)
+type checkpoint = {
+  cp_core : string;
+  cp_options : options;
+  cp_next_iteration : int;
+  cp_rng_state : int64;
+  cp_secret : int array;
+  cp_coverage : (string * int) list;
+  cp_curve : int array;
+  cp_corpus : Packet.testcase list;
+  cp_seen : string list;
+  cp_findings : finding list;  (* reverse-chronological, as accumulated *)
+  cp_n_findings : int;
+  cp_first_bug : int option;
+  cp_triggered : int;
+  cp_sim_cycles : int;
+  cp_crashes : crash list;  (* reverse-chronological *)
+  cp_timeouts : int;
+}
+
+let checkpoint_magic = "dejavuzz-campaign"
+let checkpoint_version = 1
+
+let save_checkpoint ~path (cp : checkpoint) =
+  Snapshot.save ~path ~magic:checkpoint_magic ~version:checkpoint_version
+    (Marshal.to_string cp [])
+
+let load_checkpoint ~path : (checkpoint, string) result =
+  match Snapshot.load ~path ~magic:checkpoint_magic with
+  | Error _ as e -> e
+  | Ok (v, payload) ->
+      if v <> checkpoint_version then
+        Error
+          (Printf.sprintf "checkpoint version %d unsupported (this build reads v%d)"
+             v checkpoint_version)
+      else (
+        match (Marshal.from_string payload 0 : checkpoint) with
+        | cp -> Ok cp
+        | exception _ -> Error "checkpoint payload does not unmarshal")
+
+let write_crash_artifact dir (c : crash) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Printf.sprintf "crash-%04d.json" c.cr_iteration) in
+  let json =
+    Json.Obj
+      [ ("iteration", Json.Int c.cr_iteration);
+        ( "seed",
+          match c.cr_seed with
+          | None -> Json.Null
+          | Some s -> Json.Str (Seed.to_string s) );
+        ("exn", Json.Str c.cr_exn);
+        ("backtrace", Json.Str c.cr_backtrace) ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')
 
 let dedup_key f =
   Printf.sprintf "%s/%s/%s/%s"
@@ -84,8 +179,9 @@ let finding_event f =
     ("kind", Json.Str (leak_kind_name f.fd_kind));
     ("components", Json.Arr (List.map (fun c -> Json.Str c) f.fd_components)) ]
 
-let run ?(telemetry = quiet) cfg options =
+let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
   let tel = telemetry in
+  let rz = resilience in
   let clk = Metrics.clock tel.t_metrics in
   let events_on = not (Events.is_null tel.t_events) in
   let m_iters =
@@ -121,23 +217,95 @@ let run ?(telemetry = quiet) cfg options =
       "dvz_phase3_seconds"
   in
   let t_start = Clock.now clk in
-  let sim_cycles = ref 0 in
-  let rng = Rng.create options.rng_seed in
-  let secret =
-    (* Full 32-bit draws: [Rng.int rng 0xFFFF_FFFF] would exclude the
-       all-ones dword (exclusive upper bound). *)
-    Array.init Dvz_soc.Layout.secret_dwords (fun _ ->
-        Rng.next rng land 0xFFFF_FFFF)
+  let resumed =
+    match rz.rz_resume with
+    | Some path when Sys.file_exists path -> (
+        match load_checkpoint ~path with
+        | Error e ->
+            invalid_arg
+              (Printf.sprintf "Campaign.run: cannot resume from %s: %s" path e)
+        | Ok cp ->
+            if cp.cp_core <> cfg.Dvz_uarch.Config.name then
+              invalid_arg
+                (Printf.sprintf
+                   "Campaign.run: checkpoint %s is for core %s, not %s" path
+                   cp.cp_core cfg.Dvz_uarch.Config.name);
+            if cp.cp_options <> options then
+              invalid_arg
+                (Printf.sprintf
+                   "Campaign.run: checkpoint %s was written with different \
+                    campaign options"
+                   path);
+            Some cp)
+    | _ -> None
   in
-  let coverage = Coverage.create () in
+  (* All loop state below either starts fresh or is restored verbatim from
+     the checkpoint; nothing else in the loop carries state across
+     iterations, which is what makes kill-and-resume bit-identical. *)
+  let rng, secret =
+    match resumed with
+    | None ->
+        let rng = Rng.create options.rng_seed in
+        (* Full 32-bit draws: [Rng.int rng 0xFFFF_FFFF] would exclude the
+           all-ones dword (exclusive upper bound). *)
+        let secret =
+          Array.init Dvz_soc.Layout.secret_dwords (fun _ ->
+              Rng.next rng land 0xFFFF_FFFF)
+        in
+        (rng, secret)
+    | Some cp -> (Rng.of_state cp.cp_rng_state, Array.copy cp.cp_secret)
+  in
+  let start_it =
+    match resumed with None -> 0 | Some cp -> cp.cp_next_iteration
+  in
+  let coverage =
+    match resumed with
+    | None -> Coverage.create ()
+    | Some cp -> Coverage.of_list cp.cp_coverage
+  in
   let curve = Array.make options.iterations 0 in
   let corpus : Packet.testcase list ref = ref [] in
   let seen = Hashtbl.create 32 in
+  let sim_cycles = ref 0 in
   let findings = ref [] in
   let n_findings = ref 0 in
   let first_bug = ref None in
   let triggered = ref 0 in
-  if events_on then
+  let crashes = ref [] in
+  let timeouts = ref 0 in
+  (match resumed with
+  | None -> ()
+  | Some cp ->
+      Array.blit cp.cp_curve 0 curve 0
+        (min (Array.length cp.cp_curve) (Array.length curve));
+      corpus := cp.cp_corpus;
+      List.iter (fun k -> Hashtbl.replace seen k ()) cp.cp_seen;
+      sim_cycles := cp.cp_sim_cycles;
+      findings := cp.cp_findings;
+      n_findings := cp.cp_n_findings;
+      first_bug := cp.cp_first_bug;
+      triggered := cp.cp_triggered;
+      crashes := cp.cp_crashes;
+      timeouts := cp.cp_timeouts);
+  let make_checkpoint next_it =
+    { cp_core = cfg.Dvz_uarch.Config.name;
+      cp_options = options;
+      cp_next_iteration = next_it;
+      cp_rng_state = Rng.state rng;
+      cp_secret = Array.copy secret;
+      cp_coverage = Coverage.to_list coverage;
+      cp_curve = Array.copy curve;
+      cp_corpus = !corpus;
+      cp_seen = Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare;
+      cp_findings = !findings;
+      cp_n_findings = !n_findings;
+      cp_first_bug = !first_bug;
+      cp_triggered = !triggered;
+      cp_sim_cycles = !sim_cycles;
+      cp_crashes = !crashes;
+      cp_timeouts = !timeouts }
+  in
+  if events_on then begin
     Events.emit tel.t_events
       [ ("type", Json.Str "campaign_start");
         ("core", Json.Str cfg.Dvz_uarch.Config.name);
@@ -147,98 +315,203 @@ let run ?(telemetry = quiet) cfg options =
         ("style", Json.Str (style_name options.style));
         ("fresh_seed_prob", Json.Float options.fresh_seed_prob);
         ("taint_mode", Json.Str (taint_mode_name options.taint_mode)) ];
-  for it = 0 to options.iterations - 1 do
+    match (resumed, rz.rz_resume) with
+    | Some _, Some path ->
+        Events.emit tel.t_events
+          [ ("type", Json.Str "resume");
+            ("path", Json.Str path);
+            ("iteration", Json.Int start_it) ];
+        (* Re-emit checkpointed findings so a resumed run's event log is
+           self-contained and [replay-log] reconstructs the full campaign. *)
+        List.iter
+          (fun f -> Events.emit tel.t_events (finding_event f))
+          (List.rev !findings)
+    | _ -> ()
+  end;
+  for it = start_it to options.iterations - 1 do
     Metrics.incr m_iters;
-    (* Phase 1 — seed selection: mutate a corpus entry's window, or
-       generate, evaluate and reduce a fresh trigger. *)
-    let t0 = Clock.now clk in
-    let seed_kind, phase1 =
-      if !corpus = [] || Rng.chance rng options.fresh_seed_prob then begin
-        let seed = Seed.random rng in
-        let tc = Trigger_gen.generate ~style:options.style cfg seed in
-        let outcome =
+    (* One [split] per iteration is the master generator's only draw: a
+       crashed or timed-out iteration consumes exactly as much of the
+       master stream as a clean one, so the surviving iterations of a
+       faulted campaign are bit-identical to the unfaulted run's. *)
+    let irng = Rng.split rng in
+    Fault.arm ~iteration:it rz.rz_fault_plan;
+    let iter_seed = ref None in
+    let seed_kind = ref None in
+    let p1 = ref 0.0 and p2 = ref 0.0 and p3 = ref 0.0 in
+    let phase1_triggered = ref false in
+    let coverage_delta = ref 0 and new_findings = ref 0 and cycles = ref 0 in
+    let status = ref `Ok in
+    let body () =
+      (* Phase 1 — seed selection: mutate a corpus entry's window, or
+         generate, evaluate and reduce a fresh trigger. *)
+      let t0 = Clock.now clk in
+      let phase1 =
+        if !corpus = [] || Rng.chance irng options.fresh_seed_prob then begin
+          let seed = Seed.random irng in
+          iter_seed := Some seed;
+          seed_kind := Some seed.Seed.kind;
+          let tc = Trigger_gen.generate ~style:options.style cfg seed in
           if Trigger_opt.evaluate cfg tc then begin
             let reduced, _ = Trigger_opt.reduce cfg tc in
             Some reduced
           end
           else None
-        in
-        (seed.Seed.kind, outcome)
-      end
-      else begin
-        let tc = Rng.choose_list rng !corpus in
-        let seed = Seed.mutate_window rng tc.Packet.seed in
-        (seed.Seed.kind, Some { tc with Packet.seed = seed })
-      end
-    in
-    let p1 = Clock.now clk -. t0 in
-    Metrics.observe h_phase1 p1;
-    let p2 = ref 0.0 and p3 = ref 0.0 in
-    let coverage_delta = ref 0 and new_findings = ref 0 and cycles = ref 0 in
-    (match phase1 with
-    | None -> ()
-    | Some tc ->
-        incr triggered;
-        (* Phase 2 — complete the transient window with encoding gadgets. *)
-        let t1 = Clock.now clk in
-        let completed = Window_gen.complete cfg tc in
-        p2 := Clock.now clk -. t1;
-        Metrics.observe h_phase2 !p2;
-        (* Phase 3 — dual-DUT simulation, coverage, oracles. *)
-        let t2 = Clock.now clk in
-        let analysis =
-          Oracle.analyze ~mode:options.taint_mode cfg ~secret completed
-        in
-        p3 := Clock.now clk -. t2;
-        Metrics.observe h_phase3 !p3;
-        cycles :=
-          analysis.Oracle.a_result.Dvz_uarch.Dualcore.r_cycles_a
-          + analysis.Oracle.a_result.Dvz_uarch.Dualcore.r_cycles_b;
-        sim_cycles := !sim_cycles + !cycles;
-        let fresh =
-          Coverage.observe_result coverage analysis.Oracle.a_result
-        in
-        coverage_delta := fresh;
-        (* Corpus policy is where the DejaVuzz- ablation differs: the
-           guided fuzzer accumulates every coverage-increasing seed and
-           keeps mutating all of them; the blind variant only carries the
-           current seed forward (§6.3: "randomly updates the secret
-           encoding block or regenerates a new transient window for each
-           round"). *)
-        if options.coverage_guided then begin
-          if fresh > 0 then corpus := tc :: !corpus;
-          if List.length !corpus > 64 then
-            corpus := List.filteri (fun i _ -> i < 64) !corpus
         end
-        else corpus := [ tc ];
-        Metrics.set g_corpus (float_of_int (List.length !corpus));
-        List.iter
-          (fun f ->
-            let key = dedup_key f in
-            if not (Hashtbl.mem seen key) then begin
-              Hashtbl.replace seen key ();
-              findings := f :: !findings;
-              incr n_findings;
-              incr new_findings;
-              if !first_bug = None then first_bug := Some it;
-              if events_on then Events.emit tel.t_events (finding_event f)
+        else begin
+          let tc = Rng.choose_list irng !corpus in
+          let seed = Seed.mutate_window irng tc.Packet.seed in
+          iter_seed := Some seed;
+          seed_kind := Some seed.Seed.kind;
+          Some { tc with Packet.seed = seed }
+        end
+      in
+      p1 := Clock.now clk -. t0;
+      Metrics.observe h_phase1 !p1;
+      match phase1 with
+      | None -> ()
+      | Some tc ->
+          phase1_triggered := true;
+          incr triggered;
+          (* Phase 2 — complete the transient window with encoding gadgets. *)
+          let t1 = Clock.now clk in
+          let completed = Window_gen.complete cfg tc in
+          p2 := Clock.now clk -. t1;
+          Metrics.observe h_phase2 !p2;
+          (* Phase 3 — dual-DUT simulation, coverage, oracles. *)
+          let t2 = Clock.now clk in
+          let analysis =
+            Oracle.analyze ~mode:options.taint_mode ?budget:rz.rz_budget cfg
+              ~secret completed
+          in
+          p3 := Clock.now clk -. t2;
+          Metrics.observe h_phase3 !p3;
+          cycles :=
+            analysis.Oracle.a_result.Dvz_uarch.Dualcore.r_cycles_a
+            + analysis.Oracle.a_result.Dvz_uarch.Dualcore.r_cycles_b;
+          sim_cycles := !sim_cycles + !cycles;
+          if analysis.Oracle.a_timed_out then begin
+            (* Watchdog verdict: the evidence is partial, so the run
+               contributes nothing to coverage, corpus or findings. *)
+            status := `Timeout;
+            incr timeouts;
+            if events_on then
+              Events.emit tel.t_events
+                [ ("type", Json.Str "watchdog_timeout");
+                  ("iteration", Json.Int it);
+                  ( "slots",
+                    Json.Int analysis.Oracle.a_result.Dvz_uarch.Dualcore.r_slots
+                  ) ]
+          end
+          else begin
+            let fresh =
+              Coverage.observe_result coverage analysis.Oracle.a_result
+            in
+            coverage_delta := fresh;
+            (* Corpus policy is where the DejaVuzz- ablation differs: the
+               guided fuzzer accumulates every coverage-increasing seed and
+               keeps mutating all of them; the blind variant only carries the
+               current seed forward (§6.3: "randomly updates the secret
+               encoding block or regenerates a new transient window for each
+               round"). *)
+            if options.coverage_guided then begin
+              if fresh > 0 then corpus := tc :: !corpus;
+              if List.length !corpus > 64 then
+                corpus := List.filteri (fun i _ -> i < 64) !corpus
             end
-            else Metrics.incr m_dedup)
-          (findings_of_analysis ~iteration:it tc.Packet.seed analysis));
+            else corpus := [ tc ];
+            Metrics.set g_corpus (float_of_int (List.length !corpus));
+            List.iter
+              (fun f ->
+                let key = dedup_key f in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.replace seen key ();
+                  findings := f :: !findings;
+                  incr n_findings;
+                  incr new_findings;
+                  if !first_bug = None then first_bug := Some it;
+                  if events_on then Events.emit tel.t_events (finding_event f)
+                end
+                else Metrics.incr m_dedup)
+              (findings_of_analysis ~iteration:it tc.Packet.seed analysis)
+          end
+    in
+    (try body () with
+    | Fault.Killed _ as e ->
+        (* An injected kill models the whole process dying: clean up the
+           ambient fault state and let it rip through every layer. *)
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Fault.drain_fired ());
+        Fault.disarm ();
+        Printexc.raise_with_backtrace e bt
+    | e ->
+        let bt = Printexc.get_raw_backtrace () in
+        status := `Crashed;
+        let crash =
+          { cr_iteration = it;
+            cr_seed = !iter_seed;
+            cr_exn = Printexc.to_string e;
+            cr_backtrace = Printexc.raw_backtrace_to_string bt }
+        in
+        crashes := crash :: !crashes;
+        Metrics.incr m_crashes;
+        (match rz.rz_crash_dir with
+        | Some dir -> write_crash_artifact dir crash
+        | None -> ());
+        if events_on then
+          Events.emit tel.t_events
+            [ ("type", Json.Str "harness_crash");
+              ("iteration", Json.Int it);
+              ( "seed",
+                match !iter_seed with
+                | None -> Json.Null
+                | Some s -> Json.Str (Seed.to_string s) );
+              ("exn", Json.Str crash.cr_exn);
+              ("backtrace", Json.Str crash.cr_backtrace) ]);
+    List.iter
+      (fun (f : Fault.fault) ->
+        if events_on then
+          Events.emit tel.t_events
+            [ ("type", Json.Str "fault_injected");
+              ("iteration", Json.Int it);
+              ("cycle", Json.Int f.Fault.f_cycle);
+              ("action", Json.Str (Fault.action_name f.Fault.f_action)) ])
+      (Fault.drain_fired ());
+    Fault.disarm ();
     curve.(it) <- Coverage.points coverage;
     if events_on then
       Events.emit tel.t_events
         [ ("type", Json.Str "iteration");
           ("iteration", Json.Int it);
-          ("seed_kind", Json.Str (Seed.kind_name seed_kind));
-          ("phase1_triggered", Json.Bool (phase1 <> None));
+          ( "seed_kind",
+            match !seed_kind with
+            | None -> Json.Null
+            | Some k -> Json.Str (Seed.kind_name k) );
+          ("phase1_triggered", Json.Bool !phase1_triggered);
           ("coverage_delta", Json.Int !coverage_delta);
           ("coverage", Json.Int curve.(it));
           ("new_findings", Json.Int !new_findings);
           ("cycles", Json.Int !cycles);
-          ("phase1_s", Json.Float p1);
+          ( "status",
+            Json.Str
+              (match !status with
+              | `Ok -> "ok"
+              | `Crashed -> "crashed"
+              | `Timeout -> "timeout") );
+          ("phase1_s", Json.Float !p1);
           ("phase2_s", Json.Float !p2);
           ("phase3_s", Json.Float !p3) ];
+    (match rz.rz_checkpoint with
+    | Some path
+      when rz.rz_checkpoint_every > 0
+           && (it + 1) mod rz.rz_checkpoint_every = 0 ->
+        save_checkpoint ~path (make_checkpoint (it + 1));
+        if events_on then
+          Events.emit tel.t_events
+            [ ("type", Json.Str "checkpoint");
+              ("iteration", Json.Int (it + 1));
+              ("path", Json.Str path) ]
+    | _ -> ());
     if tel.t_progress_every > 0 && (it + 1) mod tel.t_progress_every = 0
     then begin
       let elapsed = Float.max 1e-9 (Clock.now clk -. t_start) in
@@ -263,6 +536,8 @@ let run ?(telemetry = quiet) cfg options =
         ( "first_bug",
           match !first_bug with None -> Json.Null | Some i -> Json.Int i );
         ("sim_cycles", Json.Int !sim_cycles);
+        ("harness_crashes", Json.Int (List.length !crashes));
+        ("watchdog_timeouts", Json.Int !timeouts);
         ("elapsed_s", Json.Float elapsed) ];
     Events.flush tel.t_events
   end;
@@ -271,4 +546,6 @@ let run ?(telemetry = quiet) cfg options =
     s_findings = List.rev !findings;
     s_first_bug = !first_bug;
     s_final_coverage = final_coverage;
-    s_triggered = !triggered }
+    s_triggered = !triggered;
+    s_crashes = List.rev !crashes;
+    s_timeouts = !timeouts }

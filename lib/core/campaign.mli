@@ -49,6 +49,15 @@ type telemetry = {
 
 val quiet : telemetry
 
+type crash = {
+  cr_iteration : int;
+  cr_seed : Seed.t option;  (** the input being processed, when known *)
+  cr_exn : string;
+  cr_backtrace : string;
+}
+(** One isolated harness crash: the iteration's input descriptor plus the
+    exception and backtrace, recorded instead of killing the campaign. *)
+
 type stats = {
   s_options : options;
   s_coverage_curve : int array;  (** covered points after each iteration *)
@@ -56,9 +65,51 @@ type stats = {
   s_first_bug : int option;      (** iteration of the first finding *)
   s_final_coverage : int;
   s_triggered : int;             (** iterations whose window fired *)
+  s_crashes : crash list;        (** isolated harness crashes, chronological *)
+  s_timeouts : int;              (** iterations ended by the watchdog *)
 }
 
-val run : ?telemetry:telemetry -> Dvz_uarch.Config.t -> options -> stats
+(** {2 Resilience} — fault injection, watchdogs and checkpoint/resume. *)
+
+type resilience = {
+  rz_fault_plan : Dvz_resilience.Fault.plan;
+      (** faults to arm, one iteration at a time, before each round *)
+  rz_budget : Dvz_uarch.Dualcore.budget option;
+      (** watchdog on every testbench run; exceeding it yields a Timeout
+          verdict for the iteration instead of a hang *)
+  rz_checkpoint : string option;  (** snapshot path; [None] = never *)
+  rz_checkpoint_every : int;      (** snapshot every N iterations *)
+  rz_resume : string option;
+      (** checkpoint to restore before the first iteration; a missing
+          file silently starts fresh (first run of a kill/resume loop),
+          a corrupt or mismatched one raises [Invalid_argument] *)
+  rz_crash_dir : string option;
+      (** directory receiving one [crash-NNNN.json] artifact per
+          isolated harness crash *)
+}
+
+val no_resilience : resilience
+(** No faults, no watchdog, no checkpointing ([rz_checkpoint_every] is
+    50, but inert while [rz_checkpoint] is [None]). *)
+
+val with_suffix : resilience -> string -> resilience
+(** Appends [".suffix"] to the checkpoint and resume paths — how the
+    multi-campaign experiments (Table 5 cores, Fig. 7 trials) give each
+    campaign its own snapshot file from one [--checkpoint] flag. *)
+
+val run :
+  ?telemetry:telemetry ->
+  ?resilience:resilience ->
+  Dvz_uarch.Config.t ->
+  options ->
+  stats
+(** Runs the campaign.  Each iteration draws from a child generator
+    split off the master RNG, so an iteration that crashes or times out
+    perturbs nothing downstream; checkpoints capture the whole loop
+    state atomically, so a campaign killed and resumed from its last
+    checkpoint produces stats bit-identical to an uninterrupted run.
+    Raises [Invalid_argument] on an unusable [rz_resume] file; injected
+    {!Dvz_resilience.Fault.Killed} faults propagate to the caller. *)
 
 val dedup_key : finding -> string
 (** Two findings with the same key are the same bug class. *)

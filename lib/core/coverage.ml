@@ -26,3 +26,11 @@ let observe_result t r = observe t r.Dualcore.r_log
 let points t = Hashtbl.length t.seen
 
 let copy t = { seen = Hashtbl.copy t.seen }
+
+let to_list t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.seen [] |> List.sort compare
+
+let of_list points =
+  let t = create () in
+  List.iter (fun p -> Hashtbl.replace t.seen p ()) points;
+  t

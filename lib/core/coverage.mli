@@ -21,3 +21,9 @@ val points : t -> int
 (** Total covered points — the y-axis of Figure 7. *)
 
 val copy : t -> t
+
+val to_list : t -> (string * int) list
+(** The covered points, sorted — a stable form for checkpointing. *)
+
+val of_list : (string * int) list -> t
+(** Rebuilds a matrix from {!to_list} output. *)

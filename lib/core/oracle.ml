@@ -29,6 +29,7 @@ type analysis = {
   a_attack : [ `Meltdown | `Spectre ] option;
   a_live_sinks : Elem.t list;
   a_all_sinks : Elem.t list;
+  a_timed_out : bool;
 }
 
 let starts_with prefix s =
@@ -86,50 +87,70 @@ let attack_of_result result =
       if List.exists (fun w -> w.Core.wr_secret_fault) ws then Some `Meltdown
       else Some `Spectre
 
-let analyze ?(use_liveness = true) ?(mode = Dvz_ift.Policy.Diffift) cfg
+let analyze ?(use_liveness = true) ?(mode = Dvz_ift.Policy.Diffift) ?budget cfg
     ~secret tc =
   let run tcase =
-    Dualcore.run (Dualcore.create ~mode cfg (Packet.stimulus ~secret tcase))
+    Dualcore.run ?budget
+      (Dualcore.create ~mode cfg (Packet.stimulus ~secret tcase))
   in
   let result = run tc in
-  let all_sinks = List.filter microarch_sink result.Dualcore.r_final_tainted in
-  let live_sinks = List.filter microarch_sink result.Dualcore.r_live_tainted in
-  let timing = Dualcore.window_timing_diffs result in
-  let leaks = ref [] in
-  if timing <> [] then
-    leaks := [ Timing { pairs = timing; components = timing_components tc } ];
-  (* Encode sanitization: replay with the encoding block nop'd and keep
-     only sinks the encoding block produced.  The paper runs this only when
-     the constant-time check passes; we additionally run it on timing leaks
-     so the encoded components are attributed too (one extra simulation). *)
-  let sanitized = run (Window_gen.sanitize cfg tc) in
-  let baseline =
-    if use_liveness then
-      List.filter microarch_sink sanitized.Dualcore.r_live_tainted
-    else List.filter microarch_sink sanitized.Dualcore.r_final_tainted
-  in
-  let candidates = if use_liveness then live_sinks else all_sinks in
-  let encoded =
-    List.filter (fun e -> not (List.exists (Elem.equal e) baseline)) candidates
-  in
-  if encoded <> [] then
-    leaks :=
-      !leaks @ [ Encode { sinks = encoded; components = sink_components encoded } ];
-  Metrics.incr m_analyses;
-  List.iter
-    (function
-      | Timing _ -> Metrics.incr m_timing_leaks
-      | Encode _ -> Metrics.incr m_encode_leaks)
-    !leaks;
-  { a_result = result;
-    a_leaks = !leaks;
-    a_attack = attack_of_result result;
-    a_live_sinks = live_sinks;
-    a_all_sinks = all_sinks }
+  if result.Dualcore.r_timed_out then begin
+    (* Watchdog verdict: the run was aborted mid-flight, so none of the
+       partial evidence is trustworthy — report a clean timeout. *)
+    Metrics.incr m_analyses;
+    { a_result = result;
+      a_leaks = [];
+      a_attack = None;
+      a_live_sinks = [];
+      a_all_sinks = [];
+      a_timed_out = true }
+  end
+  else begin
+    let all_sinks = List.filter microarch_sink result.Dualcore.r_final_tainted in
+    let live_sinks = List.filter microarch_sink result.Dualcore.r_live_tainted in
+    let timing = Dualcore.window_timing_diffs result in
+    let leaks = ref [] in
+    if timing <> [] then
+      leaks := [ Timing { pairs = timing; components = timing_components tc } ];
+    (* Encode sanitization: replay with the encoding block nop'd and keep
+       only sinks the encoding block produced.  The paper runs this only when
+       the constant-time check passes; we additionally run it on timing leaks
+       so the encoded components are attributed too (one extra simulation). *)
+    let sanitized = run (Window_gen.sanitize cfg tc) in
+    if not sanitized.Dualcore.r_timed_out then begin
+      let baseline =
+        if use_liveness then
+          List.filter microarch_sink sanitized.Dualcore.r_live_tainted
+        else List.filter microarch_sink sanitized.Dualcore.r_final_tainted
+      in
+      let candidates = if use_liveness then live_sinks else all_sinks in
+      let encoded =
+        List.filter
+          (fun e -> not (List.exists (Elem.equal e) baseline))
+          candidates
+      in
+      if encoded <> [] then
+        leaks :=
+          !leaks
+          @ [ Encode { sinks = encoded; components = sink_components encoded } ]
+    end;
+    Metrics.incr m_analyses;
+    List.iter
+      (function
+        | Timing _ -> Metrics.incr m_timing_leaks
+        | Encode _ -> Metrics.incr m_encode_leaks)
+      !leaks;
+    { a_result = result;
+      a_leaks = !leaks;
+      a_attack = attack_of_result result;
+      a_live_sinks = live_sinks;
+      a_all_sinks = all_sinks;
+      a_timed_out = sanitized.Dualcore.r_timed_out }
+  end
 
 let is_leak a = a.a_leaks <> []
 
-let analyze_with_retries ?use_liveness ?(retries = 3) cfg ~secret tc =
+let analyze_with_retries ?use_liveness ?(retries = 3) ?budget cfg ~secret tc =
   (* Deterministic secret-pair variations: rotate and perturb the original
      so consecutive attempts disagree on different bit positions. *)
   let variant k =
@@ -137,7 +158,8 @@ let analyze_with_retries ?use_liveness ?(retries = 3) cfg ~secret tc =
   in
   let rec go k =
     let s = if k = 0 then secret else variant k in
-    let a = analyze ?use_liveness cfg ~secret:s tc in
-    if is_leak a || k + 1 >= max 1 retries then a else go (k + 1)
+    let a = analyze ?use_liveness ?budget cfg ~secret:s tc in
+    if is_leak a || a.a_timed_out || k + 1 >= max 1 retries then a
+    else go (k + 1)
   in
   go 0

@@ -30,6 +30,9 @@ type analysis = {
   a_all_sinks : Dvz_uarch.Elem.t list;
       (** without liveness filtering — what a liveness-unaware oracle
           (or SpecDoctor's hash comparison) would report *)
+  a_timed_out : bool;
+      (** a watchdog budget aborted a testbench run; the analysis is a
+          Timeout verdict — no leaks, no attack classification *)
 }
 
 val component_of_module : string -> component option
@@ -39,6 +42,7 @@ val component_of_module : string -> component option
 val analyze :
   ?use_liveness:bool ->
   ?mode:Dvz_ift.Policy.mode ->
+  ?budget:Dvz_uarch.Dualcore.budget ->
   Dvz_uarch.Config.t ->
   secret:int array ->
   Packet.testcase ->
@@ -47,11 +51,14 @@ val analyze :
     [use_liveness=false] reproduces the ablated oracle of the §6.3 liveness
     evaluation (residual PRF/RoB taints become false positives); [mode]
     selects the IFT policy driving the testbench ([Diffift] by default —
-    [Cellift] shows how control-flow over-tainting floods the oracle). *)
+    [Cellift] shows how control-flow over-tainting floods the oracle).
+    [budget] arms a watchdog on each testbench run: a run that exceeds it
+    yields [a_timed_out = true] instead of hanging. *)
 
 val analyze_with_retries :
   ?use_liveness:bool ->
   ?retries:int ->
+  ?budget:Dvz_uarch.Dualcore.budget ->
   Dvz_uarch.Config.t ->
   secret:int array ->
   Packet.testcase ->

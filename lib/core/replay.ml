@@ -77,6 +77,17 @@ let summary events =
                 (match first_bug with
                 | None -> "none"
                 | Some i -> Printf.sprintf "iter %d" i);
+              (* Resilience counters ride in [campaign_end]; logs from
+                 builds predating them simply lack the fields, which is
+                 also how a run with zero crashes/timeouts prints. *)
+              let crashes = Option.value ~default:0 (int "harness_crashes") in
+              let wd_timeouts =
+                Option.value ~default:0 (int "watchdog_timeouts")
+              in
+              if crashes > 0 || wd_timeouts > 0 then
+                Printf.bprintf buf
+                  "harness_crashes=%d watchdog_timeouts=%d\n" crashes
+                  wd_timeouts;
               List.iter
                 (fun f ->
                   Buffer.add_string buf (Report.finding_to_string f ^ "\n"))

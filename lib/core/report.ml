@@ -49,6 +49,10 @@ let summary stats =
     (match stats.Campaign.s_first_bug with
     | None -> "none"
     | Some i -> Printf.sprintf "iter %d" i);
+  let crashes = List.length stats.Campaign.s_crashes in
+  if crashes > 0 || stats.Campaign.s_timeouts > 0 then
+    Printf.bprintf buf "harness_crashes=%d watchdog_timeouts=%d\n" crashes
+      stats.Campaign.s_timeouts;
   List.iter
     (fun f -> Buffer.add_string buf (finding_to_string f ^ "\n"))
     stats.Campaign.s_findings;

@@ -44,17 +44,27 @@ let telemetry_for telemetry ~fuzzer ~trial =
               tel.Campaign.t_progress
                 (Printf.sprintf "%s/trial%d %s" fuzzer trial line)) }
 
-let run ?(iterations = 1000) ?(trials = 5) ?(rng_seed = 7) ?telemetry cfg =
+let run ?(iterations = 1000) ?(trials = 5) ?(rng_seed = 7) ?telemetry
+    ?resilience cfg =
   (* Trials are independent deterministic computations: run them on
      parallel domains, as the paper's multi-threaded fuzzing manager runs
      its RTL simulation instances. *)
   let trial_list f =
     Dvz_util.Parallel.map f (List.init trials (fun t -> (t, rng_seed + (100 * t))))
   in
+  let resilience_for ~fuzzer ~trial =
+    (* One checkpoint file per campaign, derived from the shared flag.
+       SpecDoctor trials below have no campaign loop and don't checkpoint. *)
+    Option.map
+      (fun rz ->
+        Campaign.with_suffix rz (Printf.sprintf "%s.trial%d" fuzzer trial))
+      resilience
+  in
   let dejavuzz =
     trial_list (fun (t, s) ->
         (Campaign.run
            ?telemetry:(telemetry_for telemetry ~fuzzer:"DejaVuzz" ~trial:t)
+           ?resilience:(resilience_for ~fuzzer:"DejaVuzz" ~trial:t)
            cfg
            (Variants.full_options ~iterations ~rng_seed:s))
           .Campaign.s_coverage_curve)
@@ -63,6 +73,7 @@ let run ?(iterations = 1000) ?(trials = 5) ?(rng_seed = 7) ?telemetry cfg =
     trial_list (fun (t, s) ->
         (Campaign.run
            ?telemetry:(telemetry_for telemetry ~fuzzer:"DejaVuzz-" ~trial:t)
+           ?resilience:(resilience_for ~fuzzer:"DejaVuzz-" ~trial:t)
            cfg
            (Variants.minus_options ~iterations ~rng_seed:s))
           .Campaign.s_coverage_curve)

@@ -23,10 +23,13 @@ type result = {
 }
 
 val run : ?iterations:int -> ?trials:int -> ?rng_seed:int ->
-  ?telemetry:Dejavuzz.Campaign.telemetry -> Dvz_uarch.Config.t -> result
+  ?telemetry:Dejavuzz.Campaign.telemetry ->
+  ?resilience:Dejavuzz.Campaign.resilience -> Dvz_uarch.Config.t -> result
 (** [telemetry] is shared by all DejaVuzz/DejaVuzz⁻ campaigns; each
     trial's events gain [fuzzer]/[trial] context fields and its progress
     lines a ["<fuzzer>/trial<N> "] prefix (trials run on parallel
-    domains, so lines from different trials interleave). *)
+    domains, so lines from different trials interleave).  [resilience]
+    checkpoint/resume paths gain a [".<fuzzer>.trialN"] suffix per
+    campaign; SpecDoctor trials don't checkpoint. *)
 
 val render : result -> string

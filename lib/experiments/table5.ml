@@ -31,7 +31,11 @@ let specdoctor_reach cfg ~rng_seed =
     List.sort_uniq compare comps
   end
 
-let run ?(iterations = 1200) ?(rng_seed = 13) ?telemetry cfg =
+let run ?(iterations = 1200) ?(rng_seed = 13) ?telemetry ?resilience cfg =
+  let resilience =
+    (* Each core campaign gets its own checkpoint file from one flag. *)
+    Option.map (fun rz -> Campaign.with_suffix rz cfg.Cfg.name) resilience
+  in
   let telemetry =
     match telemetry with
     | None -> None
@@ -49,16 +53,16 @@ let run ?(iterations = 1200) ?(rng_seed = 13) ?telemetry cfg =
                   (Printf.sprintf "%s %s" cfg.Cfg.name line)) }
   in
   let stats =
-    Campaign.run ?telemetry cfg
+    Campaign.run ?telemetry ?resilience cfg
       { Campaign.default_options with Campaign.iterations; rng_seed }
   in
   { core = cfg.Cfg.name; stats;
     specdoctor_components = specdoctor_reach cfg ~rng_seed }
 
-let run_many ?iterations ?rng_seed ?telemetry cfgs =
+let run_many ?iterations ?rng_seed ?telemetry ?resilience cfgs =
   (* Per-core campaigns are independent: one domain each. *)
   Dvz_util.Parallel.map
-    (fun cfg -> run ?iterations ?rng_seed ?telemetry cfg)
+    (fun cfg -> run ?iterations ?rng_seed ?telemetry ?resilience cfg)
     cfgs
 
 let render results =

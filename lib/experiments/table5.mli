@@ -13,13 +13,16 @@ type result = {
 
 val run :
   ?iterations:int -> ?rng_seed:int ->
-  ?telemetry:Dejavuzz.Campaign.telemetry -> Dvz_uarch.Config.t -> result
+  ?telemetry:Dejavuzz.Campaign.telemetry ->
+  ?resilience:Dejavuzz.Campaign.resilience -> Dvz_uarch.Config.t -> result
 (** [telemetry] events gain a [core] context field; progress lines are
-    prefixed with the core name. *)
+    prefixed with the core name.  [resilience] checkpoint/resume paths
+    gain a [".<core>"] suffix so each campaign owns its snapshot. *)
 
 val run_many :
   ?iterations:int -> ?rng_seed:int ->
   ?telemetry:Dejavuzz.Campaign.telemetry ->
+  ?resilience:Dejavuzz.Campaign.resilience ->
   Dvz_uarch.Config.t list -> result list
 (** Runs one campaign per core on parallel domains. *)
 

@@ -5,6 +5,8 @@ type t = {
   values : int array;
   mem_data : (string, int array) Hashtbl.t;
   order : N.signal array;
+  mutable ticks : int;
+  mutable hooks : (int -> unit) list;
 }
 
 let mem_key m = N.mem_name m
@@ -31,14 +33,25 @@ let create nl =
   List.iter
     (fun m -> Hashtbl.replace mem_data (mem_key m) (Array.make (N.mem_depth m) 0))
     (N.mems nl);
-  { nl; values; mem_data; order }
+  { nl; values; mem_data; order; ticks = 0; hooks = [] }
 
 let netlist t = t.nl
+
+(* A coarse classification used only to make misuse errors self-explaining. *)
+let cell_kind = function
+  | N.Input -> "an input"
+  | N.Const _ -> "a constant"
+  | N.Reg _ -> "a register"
+  | N.Mem_read _ -> "a memory read port"
+  | _ -> "a combinational cell"
 
 let set_input t s v =
   match N.cell_of t.nl s with
   | N.Input -> t.values.((s :> int)) <- Bits.trunc (N.width_of t.nl s) v
-  | _ -> invalid_arg "Sim.set_input: not an input"
+  | c ->
+      invalid_arg
+        (Printf.sprintf "Sim.set_input: signal %s is not an input (it is %s)"
+           (N.name_of t.nl s) (cell_kind c))
 
 let peek t (s : N.signal) = t.values.((s :> int))
 
@@ -50,7 +63,10 @@ let poke_mem t m i v = (mem_array t m).(i) <- Bits.trunc (N.mem_width m) v
 let poke_reg t s v =
   match N.cell_of t.nl s with
   | N.Reg _ -> t.values.((s :> int)) <- Bits.trunc (N.width_of t.nl s) v
-  | _ -> invalid_arg "Sim.poke_reg: not a register"
+  | c ->
+      invalid_arg
+        (Printf.sprintf "Sim.poke_reg: signal %s is not a register (it is %s)"
+           (N.name_of t.nl s) (cell_kind c))
 
 let eval_cell t s =
   let v = t.values in
@@ -113,4 +129,11 @@ let step t =
 
 let cycle t =
   eval t;
-  step t
+  step t;
+  t.ticks <- t.ticks + 1;
+  match t.hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun h -> h t.ticks) hooks
+
+let cycles t = t.ticks
+let on_cycle t h = t.hooks <- t.hooks @ [ h ]

@@ -25,7 +25,18 @@ val step : t -> unit
 (** Clock edge: latch registers, commit memory writes.  Must follow {!eval}. *)
 
 val cycle : t -> unit
-(** [eval] then [step]. *)
+(** [eval] then [step], then runs the {!on_cycle} hooks with the new
+    cycle count. *)
+
+val cycles : t -> int
+(** Number of completed {!cycle} calls ({!eval}/{!step} called directly
+    are not counted). *)
+
+val on_cycle : t -> (int -> unit) -> unit
+(** Registers a hook called after every completed {!cycle} with the
+    cycle count (first call sees [1]).  Hooks run in registration order;
+    a raising hook escapes out of {!cycle} — this is how fault-injection
+    harnesses abort a simulation at a chosen cycle. *)
 
 val peek : t -> Netlist.signal -> int
 (** Current value of a signal (valid after {!eval} for combinational ones). *)

@@ -1,0 +1,81 @@
+let m_written =
+  Dvz_obs.Metrics.counter Dvz_obs.Metrics.default
+    ~help:"Checkpoint snapshots written to disk" "dvz_checkpoints_written_total"
+
+(* CRC-32 (IEEE 802.3, reflected), bit-at-a-time — checkpoints are written
+   at most once per N campaign iterations, so a lookup table isn't worth
+   its footprint. *)
+let crc32 s =
+  let poly = 0xEDB88320 in
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun c ->
+      crc := !crc lxor Char.code c;
+      for _ = 1 to 8 do
+        let lsb = !crc land 1 in
+        crc := !crc lsr 1;
+        if lsb = 1 then crc := !crc lxor poly
+      done)
+    s;
+  !crc lxor 0xFFFFFFFF
+
+let check_magic magic =
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\n' || c = '\t' then
+        invalid_arg "Snapshot.save: magic must not contain whitespace")
+    magic
+
+let header ~magic ~version payload =
+  Printf.sprintf "DVZSNAP1 %s v%d len=%d crc=%08x\n" magic version
+    (String.length payload) (crc32 payload)
+
+let save ~path ~magic ~version payload =
+  check_magic magic;
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (header ~magic ~version payload);
+      output_string oc payload;
+      flush oc);
+  Sys.rename tmp path;
+  Dvz_obs.Metrics.incr m_written
+
+let parse_header line =
+  match
+    Scanf.sscanf line "DVZSNAP1 %s v%d len=%d crc=%x%!"
+      (fun magic v len crc -> (magic, v, len, crc))
+  with
+  | header -> Ok header
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+      Error "malformed snapshot header"
+
+let load ~path ~magic =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> Error "empty snapshot file"
+          | line -> (
+              match parse_header line with
+              | Error _ as e -> e
+              | Ok (m, version, len, crc) ->
+                  if m <> magic then
+                    Error
+                      (Printf.sprintf "snapshot magic mismatch: got %S, want %S"
+                         m magic)
+                  else
+                    let payload = Bytes.create len in
+                    match really_input ic payload 0 len with
+                    | exception End_of_file ->
+                        Error "snapshot truncated: payload shorter than header"
+                    | () ->
+                        let payload = Bytes.unsafe_to_string payload in
+                        if crc32 payload <> crc then
+                          Error "snapshot checksum mismatch"
+                        else Ok (version, payload)))

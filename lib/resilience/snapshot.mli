@@ -1,0 +1,28 @@
+(** Atomic, self-validating state snapshots.
+
+    Checkpoint files must survive the very faults they exist for: a
+    campaign killed mid-write must never leave a truncated checkpoint
+    that a later [--resume] trusts.  [save] therefore writes to a
+    temporary file in the same directory and [rename]s it into place
+    (atomic on POSIX), and prefixes the payload with a one-line header
+
+    {v DVZSNAP1 <magic> v<version> len=<bytes> crc=<hex>\n v}
+
+    that [load] verifies — wrong magic, short payload, or checksum
+    mismatch all surface as [Error] instead of garbage state.  The
+    payload itself is opaque bytes; callers bring their own
+    serialization (the campaign uses [Marshal] plus a version number it
+    bumps on layout changes). *)
+
+val save : path:string -> magic:string -> version:int -> string -> unit
+(** [save ~path ~magic ~version payload] atomically replaces [path].
+    [magic] must be a single token (no spaces/newlines).  Increments the
+    [dvz_checkpoints_written_total] counter.  Raises [Sys_error] on I/O
+    failure. *)
+
+val load : path:string -> magic:string -> (int * string, string) result
+(** [load ~path ~magic] returns [(version, payload)] after validating
+    the header, length and CRC, or [Error reason]. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE, reflected) of a string — exposed for tests. *)

@@ -16,6 +16,11 @@ let g_taint_hwm =
            single simulation"
     "dvz_taint_population_hwm"
 
+let m_timeouts =
+  Metrics.counter Metrics.default
+    ~help:"Simulations aborted by a watchdog budget"
+    "dvz_watchdog_timeouts_total"
+
 type log_entry = {
   le_slot : int;
   le_total : int;
@@ -34,7 +39,20 @@ type result = {
   r_final_tainted : Elem.t list;
   r_live_tainted : Elem.t list;
   r_dead_tainted : Elem.t list;
+  r_timed_out : bool;
 }
+
+type budget = {
+  b_max_slots : int option;
+  b_max_wall_s : float option;
+  b_clock : Dvz_obs.Clock.t;
+}
+
+let budget ?max_slots ?max_wall_s ?(clock = Dvz_obs.Clock.real) () =
+  (match max_slots with
+  | Some n when n <= 0 -> invalid_arg "Dualcore.budget: max_slots must be positive"
+  | _ -> ());
+  { b_max_slots = max_slots; b_max_wall_s = max_wall_s; b_clock = clock }
 
 type t = {
   core_a : Core.t;
@@ -42,6 +60,9 @@ type t = {
   taint : Taintstate.t;
   mutable log : log_entry list;
   mutable slots : int;
+  mutable hung : bool;
+  mutable corrupted : bool;
+  mutable timed_out : bool;
 }
 
 let default_secret_b secret =
@@ -56,7 +77,12 @@ let create ?(mode = Dvz_ift.Policy.Diffift) ?secret_b cfg stim =
     | None -> default_secret_b stim.Core.st_secret
   in
   if Array.length secret_b <> Array.length stim.Core.st_secret then
-    invalid_arg "Dualcore.create: secret arity mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Dualcore.create: secret arity mismatch: secret_b has %d dwords but \
+          the stimulus secret has %d"
+         (Array.length secret_b)
+         (Array.length stim.Core.st_secret));
   let swap_b =
     Swapmem.with_schedule stim.Core.st_swapmem
       (Swapmem.schedule stim.Core.st_swapmem)
@@ -70,14 +96,25 @@ let create ?(mode = Dvz_ift.Policy.Diffift) ?secret_b cfg stim =
   Array.iteri
     (fun i _ -> Taintstate.set_tainted taint (Elem.Mem ((Layout.secret_base / 8) + i)))
     stim.Core.st_secret;
-  { core_a; core_b; taint; log = []; slots = 0 }
+  { core_a; core_b; taint; log = []; slots = 0;
+    hung = false; corrupted = false; timed_out = false }
 
 let core_a t = t.core_a
 let core_b t = t.core_b
 let taint t = t.taint
 
 let step t =
-  if Core.is_done t.core_a && Core.is_done t.core_b then false
+  (match Dvz_resilience.Fault.tick ~cycle:t.slots with
+  | `Ok -> ()
+  | `Hang -> t.hung <- true
+  | `Corrupt -> t.corrupted <- true);
+  if t.hung then begin
+    (* Wedged: slots keep counting so a budget can notice, but neither
+       core makes progress and the loop never terminates on its own. *)
+    t.slots <- t.slots + 1;
+    true
+  end
+  else if Core.is_done t.core_a && Core.is_done t.core_b then false
   else begin
     let sa = Core.step t.core_a in
     let sb = Core.step t.core_b in
@@ -106,21 +143,59 @@ let collect t =
   Metrics.record_max g_taint_hwm
     (float_of_int
        (List.fold_left (fun acc e -> max acc e.le_total) 0 t.log));
+  let windows_b = Core.windows t.core_b in
+  let windows_b, cycles_b =
+    (* An armed Corrupt fault deterministically skews instance B's timing
+       so the differential oracle sees a spurious divergence. *)
+    if t.corrupted then
+      ( (match windows_b with
+        | w :: rest -> { w with Core.wr_cycles = w.Core.wr_cycles + 7 } :: rest
+        | [] -> []),
+        Core.cycles t.core_b + 7 )
+    else (windows_b, Core.cycles t.core_b)
+  in
   { r_windows_a = Core.windows t.core_a;
-    r_windows_b = Core.windows t.core_b;
+    r_windows_b = windows_b;
     r_log = List.rev t.log;
     r_slots = t.slots;
     r_cycles_a = Core.cycles t.core_a;
-    r_cycles_b = Core.cycles t.core_b;
+    r_cycles_b = cycles_b;
     r_committed_a = Core.committed t.core_a;
     r_final_tainted = final;
     r_live_tainted = live;
-    r_dead_tainted = dead }
+    r_dead_tainted = dead;
+    r_timed_out = t.timed_out }
 
-let run t =
-  while step t do
-    ()
-  done;
+let over_budget b t start =
+  (match b.b_max_slots with Some m -> t.slots >= m | None -> false)
+  || (match b.b_max_wall_s with
+     | Some m when t.slots land 63 = 0 ->
+         (* Poll the wall clock only every 64 slots to keep it off the
+            hot path. *)
+         Dvz_obs.Clock.now b.b_clock -. start > m
+     | _ -> false)
+
+let run ?budget t =
+  (match budget with
+  | None ->
+      while step t do
+        ()
+      done
+  | Some b ->
+      let start =
+        match b.b_max_wall_s with
+        | Some _ -> Dvz_obs.Clock.now b.b_clock
+        | None -> 0.0
+      in
+      let continue_ = ref true in
+      while !continue_ do
+        if over_budget b t start then begin
+          t.timed_out <- true;
+          Metrics.incr m_timeouts;
+          continue_ := false
+        end
+        else continue_ := step t
+      done);
   collect t
 
 let window_timing_diffs result =

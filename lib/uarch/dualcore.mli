@@ -28,7 +28,20 @@ type result = {
   r_final_tainted : Elem.t list;
   r_live_tainted : Elem.t list;      (** tainted and live (instance A) *)
   r_dead_tainted : Elem.t list;
+  r_timed_out : bool;
+      (** true when a watchdog budget aborted the run; the other fields
+          describe the partial simulation up to that point *)
 }
+
+type budget
+(** A watchdog: limits on how long one dual-DUT simulation may run. *)
+
+val budget :
+  ?max_slots:int -> ?max_wall_s:float -> ?clock:Dvz_obs.Clock.t -> unit -> budget
+(** [budget ~max_slots ~max_wall_s ()] caps a run at [max_slots]
+    simulation slots and/or [max_wall_s] wall-clock seconds (measured on
+    [clock], default the real clock; the wall clock is polled every 64
+    slots).  Omitted limits are unlimited. *)
 
 type t
 
@@ -49,10 +62,16 @@ val taint : t -> Taintstate.t
 
 val step : t -> bool
 (** Advances both instances one slot and updates the taint shadow; false
-    once both instances have finished. *)
+    once both instances have finished.  Polls the ambient
+    {!Dvz_resilience.Fault} state once per slot: an armed [Hang] fault
+    wedges the testbench (slots keep counting, the cores stop, [step]
+    never returns false — only a {!budget} ends the run), an armed
+    [Corrupt] fault skews instance B's collected timing. *)
 
-val run : t -> result
-(** Steps to completion and collects the result. *)
+val run : ?budget:budget -> t -> result
+(** Steps to completion and collects the result.  With a [budget], a run
+    that exceeds it is aborted and collected with [r_timed_out = true]
+    (counted in [dvz_watchdog_timeouts_total]). *)
 
 val window_timing_diffs : result -> (int * int * int) list
 (** Per paired window: [(index, cycles_a, cycles_b)] where the two

@@ -5,6 +5,11 @@ let m_tasks =
     ~help:"Tasks executed by Parallel.map across all domains"
     "dvz_parallel_tasks_total"
 
+let m_retries =
+  Metrics.counter Metrics.default
+    ~help:"Task attempts retried by a Parallel.map retry policy"
+    "dvz_parallel_retries_total"
+
 let domain_counter idx =
   Metrics.counter Metrics.default
     ~help:"Tasks executed by one Parallel.map worker domain (0 = caller)"
@@ -12,7 +17,41 @@ let domain_counter idx =
 
 let available () = Domain.recommended_domain_count ()
 
-let map ?domains f xs =
+type retry = {
+  max_attempts : int;
+  backoff_s : int -> float;
+  transient : exn -> bool;
+}
+
+let retry ?(max_attempts = 3) ?(backoff_s = fun k -> 0.05 *. float_of_int k)
+    ?(transient = fun _ -> true) () =
+  if max_attempts < 1 then
+    invalid_arg "Parallel.retry: max_attempts must be at least 1";
+  { max_attempts; backoff_s; transient }
+
+(* One task under the (optional) retry policy.  Non-transient exceptions
+   and the final failed attempt propagate with their original backtrace. *)
+let run_task retry f x =
+  match retry with
+  | None -> f x
+  | Some r ->
+      let rec attempt k =
+        match f x with
+        | v -> v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            if k >= r.max_attempts || not (r.transient e) then
+              Printexc.raise_with_backtrace e bt
+            else begin
+              Metrics.incr m_retries;
+              let delay = r.backoff_s k in
+              if delay > 0.0 then Unix.sleepf delay;
+              attempt (k + 1)
+            end
+      in
+      attempt 1
+
+let map ?domains ?retry:policy f xs =
   let n = List.length xs in
   let domains =
     match domains with Some d -> d | None -> max 1 (available () - 1)
@@ -23,12 +62,13 @@ let map ?domains f xs =
       (fun x ->
         Metrics.incr m_tasks;
         Metrics.incr m_dom;
-        f x)
+        run_task policy f x)
       xs
   end
   else begin
     let arr = Array.of_list xs in
     let results = Array.make n None in
+    let errors = Array.make n None in
     let next = Atomic.make 0 in
     let worker idx () =
       let m_dom = domain_counter idx in
@@ -37,7 +77,13 @@ let map ?domains f xs =
         if i < n then begin
           Metrics.incr m_tasks;
           Metrics.incr m_dom;
-          results.(i) <- Some (f arr.(i));
+          (match run_task policy f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              (* Record instead of dying: the domain keeps draining tasks
+                 so Domain.join never deadlocks, and the caller re-raises
+                 the first failure with its real backtrace. *)
+              errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
           go ()
         end
       in
@@ -48,8 +94,15 @@ let map ?domains f xs =
     in
     worker 0 ();
     List.iter Domain.join spawned;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
     Array.to_list
       (Array.map
-         (function Some v -> v | None -> failwith "Parallel.map: missing result")
+         (function
+           | Some v -> v
+           | None -> assert false (* every slot has a result or an error *))
          results)
   end

@@ -1,16 +1,38 @@
-(** Domain-based parallel map.
+(** Domain-based parallel map with worker supervision.
 
     The paper's fuzzing manager "employs a multi-threaded design, allowing
     multiple RTL simulation instances to run in parallel" (§5); campaigns
     and experiment trials here are independent deterministic computations,
-    so they parallelise with OCaml 5 domains without shared state. *)
+    so they parallelise with OCaml 5 domains without shared state.
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+    Workers are supervised: an exception inside [f] is captured with its
+    backtrace, the worker keeps draining the remaining tasks (so joins
+    never deadlock), and the first failure — by task index — is re-raised
+    in the caller with the original exception and backtrace. *)
+
+type retry
+(** A bounded retry-with-backoff policy for transient task failures. *)
+
+val retry :
+  ?max_attempts:int ->
+  ?backoff_s:(int -> float) ->
+  ?transient:(exn -> bool) ->
+  unit ->
+  retry
+(** [retry ()] allows [max_attempts] (default 3) attempts per task,
+    sleeping [backoff_s k] seconds after the [k]th failed attempt
+    (default [0.05 *. k]; return [0.] to disable sleeping).  Only
+    exceptions satisfying [transient] (default: all) are retried — others
+    propagate immediately.  Each retried attempt increments the
+    [dvz_parallel_retries_total] counter. *)
+
+val map : ?domains:int -> ?retry:retry -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] evaluates [f] on every element, using up to [domains]
     additional domains (default: [recommended_domain_count - 1], at least
     1).  Results preserve order.  Falls back to sequential evaluation when
-    [domains <= 1] or the list is a singleton.  Exceptions raised by [f]
-    are re-raised in the caller. *)
+    [domains <= 1] or the list is a singleton.  If any task ultimately
+    fails, the failure with the lowest task index is re-raised in the
+    caller, preserving its constructor, argument and backtrace. *)
 
 val available : unit -> int
 (** Domains the runtime recommends. *)

@@ -15,6 +15,13 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] duplicates the generator state; the copy evolves independently. *)
 
+val state : t -> int64
+(** The full internal state, for checkpointing. *)
+
+val of_state : int64 -> t
+(** Rebuilds a generator from {!state} — the resulting stream continues
+    exactly where the saved one left off. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns an independent child generator. *)
 
