@@ -18,6 +18,200 @@ let scale_full =
 let banner title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
+(* --- netlist-level simulation benches: compiled vs interpretive engines --
+
+   The fig6/cellift-simulation and table4/diffift-simulation units of work
+   are one clock cycle of the netlist-level shadow co-simulator on the same
+   circuit shape Table 4 uses for instrumentation cost (the Figure 2 RoB
+   plus a register file): CellIFT mode runs on the flattened netlist (as
+   the real tool must), diffIFT mode on the word-level one.  Each workload
+   has an [-interp] twin on the reference interpreter, so the pair measures
+   exactly what the compiled engine buys. *)
+
+module Simbench = struct
+  module N = Dvz_ir.Netlist
+  module Sim = Dvz_ir.Sim
+  module Shadow = Dvz_ift.Shadow
+
+  type dut = {
+    d_nl : N.t;
+    d_enq_valid : N.signal;
+    d_enq_uopc : N.signal;
+    d_rollback : N.signal;
+    d_rollback_idx : N.signal;
+    d_wen : N.signal;
+    d_waddr : N.signal;
+    d_wdata : N.signal;
+    d_raddr : N.signal;
+  }
+
+  let build () =
+    let rob = Dvz_ir.Circuits.rob ~entries:64 ~uopc_width:8 in
+    let nl = rob.Dvz_ir.Circuits.rob_nl in
+    let wen, waddr, wdata, raddr =
+      N.scoped nl "prf" (fun () ->
+          let m = N.mem nl ~name:"regfile" ~width:32 ~depth:128 () in
+          let waddr = N.input nl ~name:"waddr" 10 in
+          let wdata = N.input nl ~name:"wdata" 32 in
+          let wen = N.input nl ~name:"wen" 1 in
+          N.mem_write nl m ~wen ~addr:waddr ~data:wdata;
+          let raddr = N.input nl ~name:"raddr" 10 in
+          ignore (N.mem_read nl m raddr);
+          (wen, waddr, wdata, raddr))
+    in
+    { d_nl = nl;
+      d_enq_valid = rob.Dvz_ir.Circuits.enq_valid;
+      d_enq_uopc = rob.Dvz_ir.Circuits.enq_uopc;
+      d_rollback = rob.Dvz_ir.Circuits.rollback;
+      d_rollback_idx = rob.Dvz_ir.Circuits.rollback_idx;
+      d_wen = wen; d_waddr = waddr; d_wdata = wdata; d_raddr = raddr }
+
+  let translate tr d nl =
+    { d_nl = nl;
+      d_enq_valid = tr d.d_enq_valid;
+      d_enq_uopc = tr d.d_enq_uopc;
+      d_rollback = tr d.d_rollback;
+      d_rollback_idx = tr d.d_rollback_idx;
+      d_wen = tr d.d_wen; d_waddr = tr d.d_waddr;
+      d_wdata = tr d.d_wdata; d_raddr = tr d.d_raddr }
+
+  (* One cycle of stimulus: steady enqueue traffic, a rollback every 32
+     cycles, and a tainted (pair-differing) write marching through the
+     register file so taint keeps flowing through both planes. *)
+  let drive_shadow sh d i =
+    Shadow.set_input sh d.d_enq_valid 1;
+    Shadow.set_input sh d.d_enq_uopc (i land 0xFF);
+    Shadow.set_input sh d.d_rollback (if i land 31 = 0 then 1 else 0);
+    Shadow.set_input sh d.d_rollback_idx (i land 63);
+    Shadow.set_input sh d.d_wen 1;
+    Shadow.set_input sh d.d_waddr (i land 127);
+    Shadow.set_input_pair sh d.d_wdata (i land 0xFFFF) ((i * 17) land 0xFFFF);
+    Shadow.set_input sh d.d_raddr ((i * 7) land 127);
+    Shadow.cycle sh
+
+  let drive_sim sim d i =
+    Sim.set_input sim d.d_enq_valid 1;
+    Sim.set_input sim d.d_enq_uopc (i land 0xFF);
+    Sim.set_input sim d.d_rollback (if i land 31 = 0 then 1 else 0);
+    Sim.set_input sim d.d_rollback_idx (i land 63);
+    Sim.set_input sim d.d_wen 1;
+    Sim.set_input sim d.d_waddr (i land 127);
+    Sim.set_input sim d.d_wdata (i land 0xFFFF);
+    Sim.set_input sim d.d_raddr ((i * 7) land 127);
+    Sim.cycle sim
+
+  type workload = { w_name : string; w_engine : string; w_cycle : int -> unit }
+
+  (* The six workloads: the two named benches and the plain simulator, each
+     on both engines.  Instances are built once; the per-run unit is one
+     driven clock cycle. *)
+  let workloads () =
+    let d = build () in
+    let flat_nl, tr = Dvz_ir.Flatten.flatten_with_map d.d_nl in
+    let df = translate tr d flat_nl in
+    let shadow name mode dut engine =
+      let sh = Shadow.create ~engine mode dut.d_nl in
+      let i = ref 0 in
+      { w_name = name;
+        w_engine = (match engine with `Compiled -> "compiled" | `Interp -> "interp");
+        w_cycle = (fun _ -> incr i; drive_shadow sh dut !i) }
+    in
+    let plain name engine =
+      let sim = Sim.create ~engine d.d_nl in
+      let i = ref 0 in
+      { w_name = name;
+        w_engine = (match engine with `Compiled -> "compiled" | `Interp -> "interp");
+        w_cycle = (fun _ -> incr i; drive_sim sim d !i) }
+    in
+    [ shadow "fig6/cellift-simulation" Dvz_ift.Policy.Cellift df `Compiled;
+      shadow "fig6/cellift-simulation-interp" Dvz_ift.Policy.Cellift df `Interp;
+      shadow "table4/diffift-simulation" Dvz_ift.Policy.Diffift d `Compiled;
+      shadow "table4/diffift-simulation-interp" Dvz_ift.Policy.Diffift d `Interp;
+      plain "ir/sim-cycle" `Compiled;
+      plain "ir/sim-cycle-interp" `Interp ]
+
+  let tests () =
+    List.map
+      (fun w -> Test.make ~name:w.w_name (Staged.stage (fun () -> w.w_cycle 0)))
+      (workloads ())
+
+  (* Plain wall-clock measurement for the machine-readable BENCH_sim.json
+     artifact: warm up, then average over a fixed cycle count. *)
+  let measure_ns w =
+    for _ = 1 to 2_000 do w.w_cycle 0 done;
+    let cycles = 20_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to cycles do w.w_cycle 0 done;
+    let dt = Unix.gettimeofday () -. t0 in
+    dt *. 1e9 /. float_of_int cycles
+
+  let json_report () =
+    let ws = workloads () in
+    let measured = List.map (fun w -> (w, measure_ns w)) ws in
+    let find name engine =
+      List.find_opt
+        (fun (w, _) ->
+          w.w_engine = engine
+          && (w.w_name = name || w.w_name = name ^ "-interp"))
+        measured
+    in
+    let bench_objs =
+      List.map
+        (fun (w, ns) ->
+          Dvz_obs.Json.Obj
+            [ ("name", Dvz_obs.Json.Str w.w_name);
+              ("engine", Dvz_obs.Json.Str w.w_engine);
+              ("ns_per_cycle", Dvz_obs.Json.Float ns) ])
+        measured
+    in
+    let speedups =
+      List.filter_map
+        (fun base ->
+          match (find base "compiled", find base "interp") with
+          | Some (_, c), Some (_, i) when c > 0.0 ->
+              Some
+                (Dvz_obs.Json.Obj
+                   [ ("name", Dvz_obs.Json.Str base);
+                     ("interp_ns_per_cycle", Dvz_obs.Json.Float i);
+                     ("compiled_ns_per_cycle", Dvz_obs.Json.Float c);
+                     ("speedup", Dvz_obs.Json.Float (i /. c)) ])
+          | _ -> None)
+        [ "fig6/cellift-simulation"; "table4/diffift-simulation";
+          "ir/sim-cycle" ]
+    in
+    Dvz_obs.Json.Obj
+      [ ("schema", Dvz_obs.Json.Str "dvz-bench-sim/1");
+        ("benches", Dvz_obs.Json.Arr bench_objs);
+        ("speedups", Dvz_obs.Json.Arr speedups) ]
+
+  let write_json path =
+    let json = json_report () in
+    let oc = open_out path in
+    output_string oc (Dvz_obs.Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    (* Echo the speedups so CI logs show the headline numbers. *)
+    (match json with
+    | Dvz_obs.Json.Obj fields -> (
+        match List.assoc_opt "speedups" fields with
+        | Some (Dvz_obs.Json.Arr sps) ->
+            List.iter
+              (fun sp ->
+                match sp with
+                | Dvz_obs.Json.Obj f -> (
+                    match
+                      (List.assoc_opt "name" f, List.assoc_opt "speedup" f)
+                    with
+                    | Some (Dvz_obs.Json.Str n), Some (Dvz_obs.Json.Float s) ->
+                        Printf.printf "%-32s %.1fx compiled over interp\n" n s
+                    | _ -> ())
+                | _ -> ())
+              sps
+        | _ -> ())
+    | _ -> ());
+    Printf.printf "wrote %s\n" path
+end
+
 (* --- bechamel micro-benchmarks: one Test.make per table/figure ----------- *)
 
 let micro_tests () =
@@ -32,17 +226,20 @@ let micro_tests () =
            let tc = Dejavuzz.Trigger_gen.generate boom seed in
            ignore (Dejavuzz.Trigger_opt.evaluate boom tc)))
   in
-  (* Table 4's unit of work: one diffIFT dual-DUT simulation of Meltdown. *)
+  (* Table 4's end-to-end unit of work: one diffIFT dual-DUT simulation of
+     Meltdown through the abstract core model.  (The netlist-level
+     table4/diffift-simulation bench lives in {!Simbench}.) *)
   let meltdown = E.Attacks.build boom E.Attacks.Meltdown in
   let table4 =
-    Test.make ~name:"table4/diffift-simulation"
+    Test.make ~name:"table4/dualcore-diffift-e2e"
       (Staged.stage (fun () ->
            let stim = Dejavuzz.Packet.stimulus ~secret:E.Attacks.secret meltdown in
            ignore (Dvz_uarch.Dualcore.run (Dvz_uarch.Dualcore.create boom stim))))
   in
-  (* Figure 6's unit of work: one CellIFT-mode simulation (taint explosion). *)
+  (* Figure 6's end-to-end unit of work: one CellIFT-mode simulation (taint
+     explosion) through the abstract core model. *)
   let fig6 =
-    Test.make ~name:"fig6/cellift-simulation"
+    Test.make ~name:"fig6/dualcore-cellift-e2e"
       (Staged.stage (fun () ->
            let stim = Dejavuzz.Packet.stimulus ~secret:E.Attacks.secret meltdown in
            ignore
@@ -116,8 +313,9 @@ let micro_tests () =
            ignore
              (Dvz_resilience.Snapshot.load ~path:snap_path ~magic:"bench")))
   in
-  [ table3; table4; fig6; fig7; fig7_tel; liveness; obs_incr; obs_observe;
-    fault_tick; snapshot_rt ]
+  Simbench.tests ()
+  @ [ table3; table4; fig6; fig7; fig7_tel; liveness; obs_incr; obs_observe;
+      fault_tick; snapshot_rt ]
 
 let run_micro () =
   banner "Bechamel micro-benchmarks (one per experiment)";
@@ -144,6 +342,14 @@ let run_micro () =
 (* --- full experiment reproduction ---------------------------------------- *)
 
 let () =
+  (* `main.exe --sim-json FILE` is the CI smoke mode: measure only the
+     compiled-vs-interpretive simulation benches and write the
+     machine-readable report, skipping the full experiment reproduction. *)
+  (match Array.to_list Sys.argv with
+  | _ :: "--sim-json" :: path :: _ ->
+      Simbench.write_json path;
+      exit 0
+  | _ -> ());
   let t0 = Unix.gettimeofday () in
   banner "Table 2 (cores under evaluation)";
   print_string (E.Table2.render ());

@@ -10,7 +10,10 @@ let or_taint ~a ~b ~at ~bt =
   (lnot a land bt) lor (lnot b land at) lor (at land bt)
 
 let mux_taint mode ~width ~s ~s_diff ~a:_ ~b:_ ~st ~at ~bt ~ab_xor =
-  let data = if s = 1 then bt else at in
+  (* [s <> 0], not [= 1]: the selector is a raw value here, and a multi-bit
+     caller value like 2 selects the B arm in the value domain, so the data
+     taint must follow the same arm or the shadow silently diverges. *)
+  let data = if s <> 0 then bt else at in
   let control_enabled =
     st <> 0 && (match mode with Cellift -> true | Diffift -> s_diff)
   in

@@ -1,8 +1,56 @@
 open Dvz_ir
 module N = Netlist
 
+type engine = Sim.engine
+
+(* Compiled evaluation program over the dual instances plus the shadow
+   taint plane.  Same lowering idea as {!Dvz_ir.Sim}: the topo order is
+   flattened once at [create] into parallel int arrays (opcode,
+   pre-resolved operand indices, per-cell width and mask, memory backing
+   arrays), so the steady-state cycle does no variant dispatch, no width
+   lookups, no Hashtbl finds and no allocation — the {!Policy} calls it
+   makes are all int-in/int-out.  Opcode numbering matches [Sim]'s. *)
+type prog = {
+  p_op : int array;
+  p_dst : int array;
+  p_a : int array;
+  p_b : int array;
+  p_c : int array;
+  p_w : int array;
+  p_mask : int array;
+  p_arr_a : int array array;
+  p_arr_b : int array array;
+  p_arr_t : int array array;
+}
+
+(* Register-latch plan with three staging planes (value A, value B, taint)
+   so feedback between registers latches atomically, like the interpretive
+   two-phase step.  [l_en] holds the enable signal index or -1. *)
+type latch_plan = {
+  l_q : int array;
+  l_d : int array;
+  l_en : int array;
+  l_w : int array;
+  l_na : int array;
+  l_nb : int array;
+  l_nt : int array;
+}
+
+(* Memory-commit plan: one entry per write port in declaration order. *)
+type commit_plan = {
+  c_wen : int array;
+  c_addr : int array;
+  c_data : int array;
+  c_w : int array;
+  c_mask : int array;
+  c_arr_a : int array array;
+  c_arr_b : int array array;
+  c_arr_t : int array array;
+}
+
 type t = {
   mode : Policy.mode;
+  engine : engine;
   nl : N.t;
   va : int array;
   vb : int array;
@@ -11,11 +59,131 @@ type t = {
   mem_b : (string, int array) Hashtbl.t;
   mem_t : (string, int array) Hashtbl.t;
   order : N.signal array;
+  prog : prog;
+  latch : latch_plan;
+  commit : commit_plan;
 }
 
 let idx (s : N.signal) = (s :> int)
 
-let create mode nl =
+let no_arr : int array = [||]
+
+let compile_prog nl (order : N.signal array) arr_a arr_b arr_t =
+  let n = Array.length order in
+  let p =
+    { p_op = Array.make n 0;
+      p_dst = Array.make n 0;
+      p_a = Array.make n 0;
+      p_b = Array.make n 0;
+      p_c = Array.make n 0;
+      p_w = Array.make n 0;
+      p_mask = Array.make n 0;
+      p_arr_a = Array.make n no_arr;
+      p_arr_b = Array.make n no_arr;
+      p_arr_t = Array.make n no_arr }
+  in
+  Array.iteri
+    (fun i (s : N.signal) ->
+      let set op a b c =
+        p.p_op.(i) <- op;
+        p.p_a.(i) <- a;
+        p.p_b.(i) <- b;
+        p.p_c.(i) <- c
+      in
+      p.p_dst.(i) <- idx s;
+      p.p_w.(i) <- N.width_of nl s;
+      p.p_mask.(i) <- Bits.mask (N.width_of nl s);
+      match N.cell_of nl s with
+      | N.Input | N.Const _ | N.Reg _ -> assert false
+      | N.Not a -> set 0 (idx a) 0 0
+      | N.And (a, b) -> set 1 (idx a) (idx b) 0
+      | N.Or (a, b) -> set 2 (idx a) (idx b) 0
+      | N.Xor (a, b) -> set 3 (idx a) (idx b) 0
+      | N.Add (a, b) -> set 4 (idx a) (idx b) 0
+      | N.Sub (a, b) -> set 5 (idx a) (idx b) 0
+      | N.Eq (a, b) -> set 6 (idx a) (idx b) 0
+      | N.Lt (a, b) -> set 7 (idx a) (idx b) 0
+      | N.Shl (a, k) -> set 8 (idx a) k 0
+      | N.Shr (a, k) | N.Slice (a, k) -> set 9 (idx a) k 0
+      | N.Concat (hi, lo) -> set 10 (idx hi) (N.width_of nl lo) (idx lo)
+      | N.Mux (sel, a, b) -> set 11 (idx sel) (idx a) (idx b)
+      | N.Mem_read (m, addr) ->
+          set 12 (idx addr) 0 0;
+          p.p_arr_a.(i) <- arr_a m;
+          p.p_arr_b.(i) <- arr_b m;
+          p.p_arr_t.(i) <- arr_t m)
+    order;
+  p
+
+let compile_latch nl =
+  let regs =
+    List.filter_map
+      (fun q ->
+        match N.cell_of nl q with
+        | N.Reg { N.d = Some d; en; _ } ->
+            Some
+              ( idx q, idx d,
+                (match en with None -> -1 | Some e -> idx e),
+                N.width_of nl q )
+        | _ -> None)
+      (N.registers nl)
+  in
+  let n = List.length regs in
+  let l =
+    { l_q = Array.make n 0;
+      l_d = Array.make n 0;
+      l_en = Array.make n (-1);
+      l_w = Array.make n 0;
+      l_na = Array.make n 0;
+      l_nb = Array.make n 0;
+      l_nt = Array.make n 0 }
+  in
+  List.iteri
+    (fun i (q, d, en, w) ->
+      l.l_q.(i) <- q;
+      l.l_d.(i) <- d;
+      l.l_en.(i) <- en;
+      l.l_w.(i) <- w)
+    regs;
+  l
+
+let compile_commit nl arr_a arr_b arr_t =
+  let ports =
+    List.concat_map
+      (fun m ->
+        List.map
+          (fun ((wen : N.signal), (addr : N.signal), (data : N.signal)) ->
+            (idx wen, idx addr, idx data, N.mem_width m,
+             arr_a m, arr_b m, arr_t m))
+          (N.mem_writes m))
+      (N.mems nl)
+  in
+  let n = List.length ports in
+  let c =
+    { c_wen = Array.make n 0;
+      c_addr = Array.make n 0;
+      c_data = Array.make n 0;
+      c_w = Array.make n 0;
+      c_mask = Array.make n 0;
+      c_arr_a = Array.make n no_arr;
+      c_arr_b = Array.make n no_arr;
+      c_arr_t = Array.make n no_arr }
+  in
+  List.iteri
+    (fun i (wen, addr, data, w, aa, ab, at) ->
+      c.c_wen.(i) <- wen;
+      c.c_addr.(i) <- addr;
+      c.c_data.(i) <- data;
+      c.c_w.(i) <- w;
+      c.c_mask.(i) <- Bits.mask w;
+      c.c_arr_a.(i) <- aa;
+      c.c_arr_b.(i) <- ab;
+      c.c_arr_t.(i) <- at)
+    ports;
+  c
+
+let create ?(engine : engine = `Compiled) mode nl =
+  N.validate nl;
   let order = N.topo_order nl in
   let n = N.num_signals nl in
   let va = Array.make n 0 and vb = Array.make n 0 and ta = Array.make n 0 in
@@ -39,9 +207,16 @@ let create mode nl =
       Hashtbl.replace mem_b (N.mem_name m) (Array.make d 0);
       Hashtbl.replace mem_t (N.mem_name m) (Array.make d 0))
     (N.mems nl);
-  { mode; nl; va; vb; ta; mem_a; mem_b; mem_t; order }
+  let arr_a m = Hashtbl.find mem_a (N.mem_name m) in
+  let arr_b m = Hashtbl.find mem_b (N.mem_name m) in
+  let arr_t m = Hashtbl.find mem_t (N.mem_name m) in
+  { mode; engine; nl; va; vb; ta; mem_a; mem_b; mem_t; order;
+    prog = compile_prog nl order arr_a arr_b arr_t;
+    latch = compile_latch nl;
+    commit = compile_commit nl arr_a arr_b arr_t }
 
 let mode t = t.mode
+let engine t = t.engine
 let netlist t = t.nl
 
 let set_input t s v =
@@ -72,6 +247,8 @@ let poke_mem_pair t m i va vb =
 
 let mem_taint t m i = (marr t.mem_t m).(i)
 
+(* --- interpretive engine (reference semantics) ------------------------- *)
+
 (* Evaluate one combinational cell: both value instances plus the taint. *)
 let eval_cell t s =
   let nl = t.nl in
@@ -101,8 +278,9 @@ let eval_cell t s =
   | N.Xor (x, y) ->
       set (a_of x lxor a_of y) (b_of x lxor b_of y) (t_of x lor t_of y)
   | N.Mux (sel, x, y) ->
-      let ra = if a_of sel = 1 then a_of y else a_of x in
-      let rb = if b_of sel = 1 then b_of y else b_of x in
+      (* [<> 0] truthiness: a selector is boolean, not literally 1. *)
+      let ra = if a_of sel <> 0 then a_of y else a_of x in
+      let rb = if b_of sel <> 0 then b_of y else b_of x in
       let ab_xor = a_of x lxor a_of y lor (b_of x lxor b_of y) in
       let ta' =
         Policy.mux_taint t.mode ~width:w ~s:(a_of sel)
@@ -151,9 +329,9 @@ let eval_cell t s =
       in
       set (rd arr_a aa) (rd arr_b ab) (data_taint lor ctrl)
 
-let eval t = Array.iter (fun s -> eval_cell t s) t.order
+let eval_interp t = Array.iter (fun s -> eval_cell t s) t.order
 
-let step t =
+let step_interp t =
   let nl = t.nl in
   (* Compute all next-state values/taints before committing any of them. *)
   let reg_next =
@@ -165,7 +343,7 @@ let step t =
             let en_a, en_b, ent =
               match en with
               | None -> (true, true, 0)
-              | Some e -> (t.va.(idx e) = 1, t.vb.(idx e) = 1, t.ta.(idx e))
+              | Some e -> (t.va.(idx e) <> 0, t.vb.(idx e) <> 0, t.ta.(idx e))
             in
             let next_a = if en_a then t.va.(idx d) else t.va.(idx q) in
             let next_b = if en_b then t.vb.(idx d) else t.vb.(idx q) in
@@ -195,7 +373,7 @@ let step t =
       let arr_t = marr t.mem_t m in
       List.iter
         (fun ((wen : N.signal), (addr : N.signal), (data : N.signal)) ->
-          let wen_a = t.va.(idx wen) = 1 and wen_b = t.vb.(idx wen) = 1 in
+          let wen_a = t.va.(idx wen) <> 0 and wen_b = t.vb.(idx wen) <> 0 in
           let aa = t.va.(idx addr) and ab = t.vb.(idx addr) in
           let ctrl =
             Policy.mem_write_ctrl t.mode ~width:w ~wen:(wen_a || wen_b)
@@ -216,6 +394,191 @@ let step t =
           end)
         (N.mem_writes m))
     (N.mems nl)
+
+(* --- compiled engine ---------------------------------------------------- *)
+
+let exec_prog mode p va vb ta =
+  let n = Array.length p.p_op in
+  for i = 0 to n - 1 do
+    let a = Array.unsafe_get p.p_a i in
+    let b = Array.unsafe_get p.p_b i in
+    let dst = Array.unsafe_get p.p_dst i in
+    let mask = Array.unsafe_get p.p_mask i in
+    let set ra rb rt =
+      Array.unsafe_set va dst (ra land mask);
+      Array.unsafe_set vb dst (rb land mask);
+      Array.unsafe_set ta dst (rt land mask)
+    in
+    match Array.unsafe_get p.p_op i with
+    | 0 ->
+        set
+          (lnot (Array.unsafe_get va a))
+          (lnot (Array.unsafe_get vb a))
+          (Array.unsafe_get ta a)
+    | 1 ->
+        let xa = Array.unsafe_get va a and ya = Array.unsafe_get va b in
+        let xb = Array.unsafe_get vb a and yb = Array.unsafe_get vb b in
+        let xt = Array.unsafe_get ta a and yt = Array.unsafe_get ta b in
+        set (xa land ya) (xb land yb)
+          (Policy.and_taint ~a:xa ~b:ya ~at:xt ~bt:yt
+          lor Policy.and_taint ~a:xb ~b:yb ~at:xt ~bt:yt)
+    | 2 ->
+        let xa = Array.unsafe_get va a and ya = Array.unsafe_get va b in
+        let xb = Array.unsafe_get vb a and yb = Array.unsafe_get vb b in
+        let xt = Array.unsafe_get ta a and yt = Array.unsafe_get ta b in
+        set (xa lor ya) (xb lor yb)
+          (Policy.or_taint ~a:xa ~b:ya ~at:xt ~bt:yt
+          lor Policy.or_taint ~a:xb ~b:yb ~at:xt ~bt:yt)
+    | 3 ->
+        set
+          (Array.unsafe_get va a lxor Array.unsafe_get va b)
+          (Array.unsafe_get vb a lxor Array.unsafe_get vb b)
+          (Array.unsafe_get ta a lor Array.unsafe_get ta b)
+    | 4 ->
+        set
+          (Array.unsafe_get va a + Array.unsafe_get va b)
+          (Array.unsafe_get vb a + Array.unsafe_get vb b)
+          (Policy.arith_taint ~width:(Array.unsafe_get p.p_w i)
+             ~at:(Array.unsafe_get ta a) ~bt:(Array.unsafe_get ta b))
+    | 5 ->
+        set
+          (Array.unsafe_get va a - Array.unsafe_get va b)
+          (Array.unsafe_get vb a - Array.unsafe_get vb b)
+          (Policy.arith_taint ~width:(Array.unsafe_get p.p_w i)
+             ~at:(Array.unsafe_get ta a) ~bt:(Array.unsafe_get ta b))
+    | 6 ->
+        let ra = if Array.unsafe_get va a = Array.unsafe_get va b then 1 else 0 in
+        let rb = if Array.unsafe_get vb a = Array.unsafe_get vb b then 1 else 0 in
+        set ra rb
+          (Policy.cmp_taint mode ~o_diff:(ra <> rb)
+             ~at:(Array.unsafe_get ta a) ~bt:(Array.unsafe_get ta b))
+    | 7 ->
+        let ra = if Array.unsafe_get va a < Array.unsafe_get va b then 1 else 0 in
+        let rb = if Array.unsafe_get vb a < Array.unsafe_get vb b then 1 else 0 in
+        set ra rb
+          (Policy.cmp_taint mode ~o_diff:(ra <> rb)
+             ~at:(Array.unsafe_get ta a) ~bt:(Array.unsafe_get ta b))
+    | 8 ->
+        set
+          (Array.unsafe_get va a lsl b)
+          (Array.unsafe_get vb a lsl b)
+          (Array.unsafe_get ta a lsl b)
+    | 9 ->
+        set
+          (Array.unsafe_get va a lsr b)
+          (Array.unsafe_get vb a lsr b)
+          (Array.unsafe_get ta a lsr b)
+    | 10 ->
+        let lo = Array.unsafe_get p.p_c i in
+        set
+          ((Array.unsafe_get va a lsl b) lor Array.unsafe_get va lo)
+          ((Array.unsafe_get vb a lsl b) lor Array.unsafe_get vb lo)
+          ((Array.unsafe_get ta a lsl b) lor Array.unsafe_get ta lo)
+    | 11 ->
+        let y = Array.unsafe_get p.p_c i in
+        let sa = Array.unsafe_get va a and sb = Array.unsafe_get vb a in
+        let xa = Array.unsafe_get va b and ya = Array.unsafe_get va y in
+        let xb = Array.unsafe_get vb b and yb = Array.unsafe_get vb y in
+        let ra = if sa <> 0 then ya else xa in
+        let rb = if sb <> 0 then yb else xb in
+        let ab_xor = xa lxor ya lor (xb lxor yb) in
+        set ra rb
+          (Policy.mux_taint mode ~width:(Array.unsafe_get p.p_w i) ~s:sa
+             ~s_diff:(sa <> sb) ~a:xa ~b:ya ~st:(Array.unsafe_get ta a)
+             ~at:(Array.unsafe_get ta b) ~bt:(Array.unsafe_get ta y) ~ab_xor)
+    | _ ->
+        let arr_a = Array.unsafe_get p.p_arr_a i in
+        let arr_b = Array.unsafe_get p.p_arr_b i in
+        let arr_t = Array.unsafe_get p.p_arr_t i in
+        let aa = Array.unsafe_get va a and ab = Array.unsafe_get vb a in
+        let len = Array.length arr_a in
+        let da = if aa < len then Array.unsafe_get arr_a aa else 0 in
+        let db = if ab < len then Array.unsafe_get arr_b ab else 0 in
+        let dt =
+          (if aa < len then Array.unsafe_get arr_t aa else 0)
+          lor if ab < len then Array.unsafe_get arr_t ab else 0
+        in
+        let ctrl =
+          Policy.mem_read_ctrl mode ~width:(Array.unsafe_get p.p_w i)
+            ~addrt:(Array.unsafe_get ta a) ~addr_diff:(aa <> ab)
+        in
+        set da db (dt lor ctrl)
+  done
+
+let step_compiled t =
+  let va = t.va and vb = t.vb and ta = t.ta in
+  let l = t.latch in
+  let n = Array.length l.l_q in
+  for i = 0 to n - 1 do
+    let q = Array.unsafe_get l.l_q i in
+    let d = Array.unsafe_get l.l_d i in
+    let en = Array.unsafe_get l.l_en i in
+    let en_a, en_b, ent =
+      if en < 0 then (true, true, 0)
+      else
+        ( Array.unsafe_get va en <> 0,
+          Array.unsafe_get vb en <> 0,
+          Array.unsafe_get ta en )
+    in
+    let da = Array.unsafe_get va d and qa = Array.unsafe_get va q in
+    let db = Array.unsafe_get vb d and qb = Array.unsafe_get vb q in
+    Array.unsafe_set l.l_na i (if en_a then da else qa);
+    Array.unsafe_set l.l_nb i (if en_b then db else qb);
+    let dq_xor = da lxor qa lor (db lxor qb) in
+    Array.unsafe_set l.l_nt i
+      (Policy.reg_en_taint t.mode ~width:(Array.unsafe_get l.l_w i) ~en:en_a
+         ~en_diff:(en_a <> en_b) ~ent ~dt:(Array.unsafe_get ta d)
+         ~qt:(Array.unsafe_get ta q) ~dq_xor)
+  done;
+  for i = 0 to n - 1 do
+    let q = Array.unsafe_get l.l_q i in
+    Array.unsafe_set va q (Array.unsafe_get l.l_na i);
+    Array.unsafe_set vb q (Array.unsafe_get l.l_nb i);
+    Array.unsafe_set ta q (Array.unsafe_get l.l_nt i)
+  done;
+  let c = t.commit in
+  let m = Array.length c.c_wen in
+  for i = 0 to m - 1 do
+    let wen = Array.unsafe_get c.c_wen i in
+    let wen_a = Array.unsafe_get va wen <> 0 in
+    let wen_b = Array.unsafe_get vb wen <> 0 in
+    let addr = Array.unsafe_get c.c_addr i in
+    let aa = Array.unsafe_get va addr and ab = Array.unsafe_get vb addr in
+    let ctrl =
+      Policy.mem_write_ctrl t.mode ~width:(Array.unsafe_get c.c_w i)
+        ~wen:(wen_a || wen_b) ~went:(Array.unsafe_get ta wen)
+        ~wen_diff:(wen_a <> wen_b) ~addrt:(Array.unsafe_get ta addr)
+        ~addr_diff:(aa <> ab)
+    in
+    let arr_a = Array.unsafe_get c.c_arr_a i in
+    let arr_b = Array.unsafe_get c.c_arr_b i in
+    let arr_t = Array.unsafe_get c.c_arr_t i in
+    let len = Array.length arr_t in
+    if ctrl <> 0 then begin
+      if aa < len then Array.unsafe_set arr_t aa (Array.unsafe_get arr_t aa lor ctrl);
+      if ab < len then Array.unsafe_set arr_t ab (Array.unsafe_get arr_t ab lor ctrl)
+    end;
+    let data = Array.unsafe_get c.c_data i in
+    let mask = Array.unsafe_get c.c_mask i in
+    if wen_a && aa < len then begin
+      Array.unsafe_set arr_a aa (Array.unsafe_get va data land mask);
+      Array.unsafe_set arr_t aa
+        (Array.unsafe_get arr_t aa lor Array.unsafe_get ta data lor ctrl)
+    end;
+    if wen_b && ab < len then begin
+      Array.unsafe_set arr_b ab (Array.unsafe_get vb data land mask);
+      Array.unsafe_set arr_t ab
+        (Array.unsafe_get arr_t ab lor Array.unsafe_get ta data lor ctrl)
+    end
+  done
+
+let eval t =
+  match t.engine with
+  | `Compiled -> exec_prog t.mode t.prog t.va t.vb t.ta
+  | `Interp -> eval_interp t
+
+let step t =
+  match t.engine with `Compiled -> step_compiled t | `Interp -> step_interp t
 
 let cycle t =
   eval t;

@@ -9,10 +9,24 @@
 
 type t
 
-val create : Policy.mode -> Dvz_ir.Netlist.t -> t
-(** Builds a shadow co-simulator with all taints clear. *)
+type engine = Dvz_ir.Sim.engine
+(** Evaluation strategy, same as the plain simulator's: the default
+    [`Compiled] engine lowers the netlist once at {!create} into flat
+    int-array programs covering both value instances and the taint plane
+    (steady-state cycles allocate nothing); [`Interp] walks the cells
+    directly and is the reference the compiled engine is differentially
+    tested against. *)
+
+val create : ?engine:engine -> Policy.mode -> Dvz_ir.Netlist.t -> t
+(** Builds a shadow co-simulator with all taints clear.  [engine] defaults
+    to [`Compiled].  Raises {!Dvz_ir.Netlist.Width_error} if a mux
+    selector, register enable or memory write enable is not 1 bit wide. *)
 
 val mode : t -> Policy.mode
+
+val engine : t -> engine
+(** The engine this co-simulator was created with. *)
+
 val netlist : t -> Dvz_ir.Netlist.t
 
 val set_input : t -> Dvz_ir.Netlist.signal -> int -> unit

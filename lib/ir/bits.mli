@@ -20,7 +20,8 @@ val replicate : int -> int -> int
 (** [replicate w b] is [w] copies of the single bit [b] (0 or 1). *)
 
 val popcount : int -> int
-(** Number of set bits. *)
+(** Number of set bits (SWAR, constant time over the 63-bit word; total on
+    any [int], including negatives, counting the two's-complement bits). *)
 
 val spread_up : int -> int -> int
 (** [spread_up w m] sets every bit of [m] at or above its lowest set bit,

@@ -1,5 +1,7 @@
 type signal = int
 
+exception Width_error of string
+
 type mem_rec = {
   m_id : int;
   m_name : string;
@@ -84,6 +86,21 @@ let same_width t a b =
   if width_of t a <> width_of t b then
     invalid_arg "Netlist: operand widths differ"
 
+(* Signal description for error messages: "#12(rob.tail_idx)" or "#12". *)
+let describe t s =
+  let n = name_of t s in
+  let m = module_of t s in
+  let qual = if m = "" then n else if n = "" then m else m ^ "." ^ n in
+  if qual = "" then Printf.sprintf "#%d" s else Printf.sprintf "#%d(%s)" s qual
+
+let require_1bit t s ~ctx ~role =
+  let w = width_of t s in
+  if w <> 1 then
+    raise
+      (Width_error
+         (Printf.sprintf "%s: %s %s must be 1 bit wide, not %d" ctx role
+            (describe t s) w))
+
 let input t ?name w = add_cell t ?name w Input
 
 let const t w v = add_cell t w (Const (Bits.trunc w v))
@@ -102,7 +119,7 @@ let sub t a b = binop t (fun a b -> Sub (a, b)) a b
 let add = add_
 
 let mux t s a b =
-  if width_of t s <> 1 then invalid_arg "Netlist.mux: selector must be 1 bit";
+  require_1bit t s ~ctx:"Netlist.mux" ~role:"selector";
   same_width t a b;
   add_cell t (width_of t a) (Mux (s, a, b))
 
@@ -134,9 +151,8 @@ let reg_connect t q ~d ?en () =
   | Reg r ->
       same_width t q d;
       (match en with
-      | Some e when width_of t e <> 1 ->
-          invalid_arg "Netlist.reg_connect: enable must be 1 bit"
-      | _ -> ());
+      | Some e -> require_1bit t e ~ctx:"Netlist.reg_connect" ~role:"enable"
+      | None -> ());
       if r.d <> None then invalid_arg "Netlist.reg_connect: already connected";
       r.d <- Some d;
       r.en <- en
@@ -157,7 +173,7 @@ let mem t ?(name = "") ~width ~depth () =
 let mem_read t m addr = add_cell t m.m_width (Mem_read (m, addr))
 
 let mem_write t m ~wen ~addr ~data =
-  if width_of t wen <> 1 then invalid_arg "Netlist.mem_write: wen must be 1 bit";
+  require_1bit t wen ~ctx:"Netlist.mem_write" ~role:"write enable";
   if width_of t data <> m.m_width then
     invalid_arg "Netlist.mem_write: data width mismatch";
   m.m_writes <- (wen, addr, data) :: m.m_writes
@@ -209,6 +225,26 @@ let topo_order t =
   in
   for i = 0 to n - 1 do visit i done;
   Array.of_list (List.rev !order)
+
+(* Backstop for the builder-level checks: simulators call this before
+   lowering so a netlist assembled by any future internal path (flattening,
+   generated instrumentation, deserialization) cannot smuggle a multi-bit
+   select or enable into the [<> 0] truthiness tests of the engines. *)
+let validate t =
+  for i = 0 to t.count - 1 do
+    match t.nodes.(i).cell with
+    | Mux (s, _, _) -> require_1bit t s ~ctx:"Netlist.validate" ~role:"mux selector"
+    | Reg { en = Some e; _ } ->
+        require_1bit t e ~ctx:"Netlist.validate" ~role:"register enable"
+    | _ -> ()
+  done;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (wen, _, _) ->
+          require_1bit t wen ~ctx:"Netlist.validate" ~role:"memory write enable")
+        m.m_writes)
+    t.memories
 
 let modules t =
   let tbl = Hashtbl.create 16 in

@@ -19,6 +19,14 @@ type signal = private int
 type mem
 (** A memory handle. *)
 
+exception Width_error of string
+(** Raised when a control signal has an illegal width: a [Mux] selector, a
+    register enable, or a memory write enable that is not exactly 1 bit
+    wide.  The simulators treat those controls as boolean ([<> 0]); a
+    multi-bit control would silently select the wrong arm or drop a latch,
+    so it is rejected by name at construction time (and again by
+    {!validate} when a simulator is built). *)
+
 (** Cell operations.  [Mux (s, a, b)] selects [b] when [s] is 1, matching the
     paper's [S ? B : A] notation. *)
 type cell =
@@ -126,6 +134,12 @@ val mem_writes : mem -> (signal * signal * signal) list
 val topo_order : t -> signal array
 (** Combinational cells (everything except [Input], [Const], [Reg]) in
     dependency order.  Raises [Failure] on a combinational cycle. *)
+
+val validate : t -> unit
+(** Re-checks the construction-time width invariants over the whole
+    netlist: every [Mux] selector, register enable and memory write enable
+    must be 1 bit wide.  Raises {!Width_error} naming the offending signal
+    otherwise.  Simulators call this before lowering the netlist. *)
 
 val modules : t -> string list
 (** All distinct module tags, sorted. *)

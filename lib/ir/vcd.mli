@@ -26,6 +26,9 @@ val finish : t -> unit
 (** Writes the final timestamp. *)
 
 val dump_simulation :
+  ?engine:Sim.engine ->
   Netlist.t -> cycles:int -> drive:(Sim.t -> int -> unit) -> string
-(** Convenience: simulate [cycles] cycles of a fresh {!Sim}, calling
-    [drive sim cycle] before each evaluation, and return the VCD text. *)
+(** Convenience: simulate [cycles] cycles of a fresh {!Sim} (built with
+    [engine], default [`Compiled]), calling [drive sim cycle] before each
+    evaluation, and return the VCD text.  Both engines produce identical
+    waveforms. *)

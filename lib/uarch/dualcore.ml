@@ -60,6 +60,7 @@ type t = {
   taint : Taintstate.t;
   mutable log : log_entry list;
   mutable slots : int;
+  mutable taint_hwm : int;
   mutable hung : bool;
   mutable corrupted : bool;
   mutable timed_out : bool;
@@ -96,7 +97,7 @@ let create ?(mode = Dvz_ift.Policy.Diffift) ?secret_b cfg stim =
   Array.iteri
     (fun i _ -> Taintstate.set_tainted taint (Elem.Mem ((Layout.secret_base / 8) + i)))
     stim.Core.st_secret;
-  { core_a; core_b; taint; log = []; slots = 0;
+  { core_a; core_b; taint; log = []; slots = 0; taint_hwm = 0;
     hung = false; corrupted = false; timed_out = false }
 
 let core_a t = t.core_a
@@ -125,9 +126,11 @@ let step t =
         let in_window =
           match sa with Some s -> s.Effect.sl_transient | None -> false
         in
+        let total = Taintstate.tainted_count t.taint in
+        if total > t.taint_hwm then t.taint_hwm <- total;
         t.log <-
           { le_slot = t.slots;
-            le_total = Taintstate.tainted_count t.taint;
+            le_total = total;
             le_per_module = Taintstate.tainted_by_module t.taint;
             le_in_window = in_window }
           :: t.log);
@@ -140,9 +143,7 @@ let collect t =
   let live, dead = List.partition (Core.live t.core_a) final in
   Metrics.incr m_runs;
   Metrics.incr ~by:(Core.cycles t.core_a + Core.cycles t.core_b) m_cycles;
-  Metrics.record_max g_taint_hwm
-    (float_of_int
-       (List.fold_left (fun acc e -> max acc e.le_total) 0 t.log));
+  Metrics.record_max g_taint_hwm (float_of_int t.taint_hwm);
   let windows_b = Core.windows t.core_b in
   let windows_b, cycles_b =
     (* An armed Corrupt fault deterministically skews instance B's timing

@@ -10,15 +10,36 @@ type t = {
   mode : Policy.mode;
   taints : (Elem.t, unit) Hashtbl.t;
   saved : (Elem.t, bool) Hashtbl.t;  (** window-open checkpoint *)
+  by_module : (string, int) Hashtbl.t;
+      (** per-module tainted-element counts, maintained incrementally on
+          taint transitions — [tainted_by_module] is read once per logged
+          slot, and rebuilding it by walking every tainted element (each
+          [Elem.module_of] call formats a bank name) dominated the log *)
 }
 
 let create mode =
-  { mode; taints = Hashtbl.create 256; saved = Hashtbl.create 64 }
+  { mode; taints = Hashtbl.create 256; saved = Hashtbl.create 64;
+    by_module = Hashtbl.create 16 }
 
 let mode t = t.mode
 
-let set_tainted t e = Hashtbl.replace t.taints e ()
-let clear_tainted t e = Hashtbl.remove t.taints e
+let set_tainted t e =
+  if not (Hashtbl.mem t.taints e) then begin
+    Hashtbl.replace t.taints e ();
+    let m = Elem.module_of e in
+    let cur = try Hashtbl.find t.by_module m with Not_found -> 0 in
+    Hashtbl.replace t.by_module m (cur + 1)
+  end
+
+let clear_tainted t e =
+  if Hashtbl.mem t.taints e then begin
+    Hashtbl.remove t.taints e;
+    let m = Elem.module_of e in
+    match Hashtbl.find_opt t.by_module m with
+    | Some n when n <= 1 -> Hashtbl.remove t.by_module m
+    | Some n -> Hashtbl.replace t.by_module m (n - 1)
+    | None -> ()
+  end
 let is_tainted t e = Eset.mem_elem t.taints e
 
 let set t e v = if v then set_tainted t e else clear_tainted t e
@@ -117,11 +138,5 @@ let tainted_elems t =
   List.sort Elem.compare (Hashtbl.fold (fun e () acc -> e :: acc) t.taints [])
 
 let tainted_by_module t =
-  let tbl = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun e () ->
-      let m = Elem.module_of e in
-      let cur = try Hashtbl.find tbl m with Not_found -> 0 in
-      Hashtbl.replace tbl m (cur + 1))
-    t.taints;
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  List.sort compare
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_module [])

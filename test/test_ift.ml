@@ -54,6 +54,16 @@ let test_mux_policy_data () =
   in
   Alcotest.(check int) "selects B taint when s=1" 0xF0 t
 
+(* Regression: [s] is a raw selector value; the old [s = 1] truthiness test
+   made any other non-zero value (a multi-bit selector holding 2, say) take
+   the A-arm taint while the value domain takes the B arm. *)
+let test_mux_policy_nonzero_select () =
+  let t =
+    Policy.mux_taint Policy.Diffift ~width:8 ~s:2 ~s_diff:false ~a:0 ~b:0
+      ~st:0 ~at:0x0F ~bt:0xF0 ~ab_xor:0
+  in
+  Alcotest.(check int) "any non-zero selector takes B taint" 0xF0 t
+
 let test_cmp_policy () =
   Alcotest.(check int) "cellift taints on tainted input" 1
     (Policy.cmp_taint Policy.Cellift ~o_diff:false ~at:1 ~bt:0);
@@ -291,6 +301,91 @@ let test_taintlog () =
   | Some e -> Alcotest.(check int) "final tainted regs" 1 e.Taintlog.tainted_regs
   | None -> Alcotest.fail "expected final entry")
 
+(* --- compiled vs interpretive engine -------------------------------------- *)
+
+(* The compiled shadow engine must be bit-identical to the interpreter in
+   both policy modes: both value planes, the whole taint plane, the memory
+   taints and the aggregate counters.  The RoB circuit plus a memory covers
+   every opcode class the engine lowers. *)
+let shadow_engine_differential mode () =
+  let rob = Circuits.rob ~entries:8 ~uopc_width:7 in
+  let nl = rob.Circuits.rob_nl in
+  let m, wen, waddr, wdata, raddr =
+    N.scoped nl "prf" (fun () ->
+        let m = N.mem nl ~name:"regfile" ~width:8 ~depth:8 () in
+        let wen = N.input nl ~name:"wen" 1 in
+        let waddr = N.input nl ~name:"waddr" 4 in
+        let wdata = N.input nl ~name:"wdata" 8 in
+        N.mem_write nl m ~wen ~addr:waddr ~data:wdata;
+        let raddr = N.input nl ~name:"raddr" 4 in
+        ignore (N.mem_read nl m raddr);
+        (m, wen, waddr, wdata, raddr))
+  in
+  let c = Shadow.create mode nl in
+  let i = Shadow.create ~engine:`Interp mode nl in
+  Alcotest.(check bool) "engines recorded" true
+    (Shadow.engine c = `Compiled && Shadow.engine i = `Interp);
+  let rng = Dvz_util.Rng.create 4242 in
+  for cycle = 1 to 60 do
+    let both f = f c; f i in
+    let enq = Dvz_util.Rng.int rng 2 in
+    let uopc_a = Dvz_util.Rng.int rng 128 in
+    let uopc_b = Dvz_util.Rng.int rng 128 in
+    let rb = Dvz_util.Rng.int rng 2 in
+    let rbi_a = Dvz_util.Rng.int rng 8 in
+    let rbi_b = Dvz_util.Rng.int rng 8 in
+    let we = Dvz_util.Rng.int rng 2 in
+    let wa = Dvz_util.Rng.int rng 16 (* can exceed depth: bounds paths *) in
+    let wd_a = Dvz_util.Rng.int rng 256 in
+    let wd_b = Dvz_util.Rng.int rng 256 in
+    let ra = Dvz_util.Rng.int rng 16 in
+    both (fun sh ->
+        Shadow.set_input sh rob.Circuits.enq_valid enq;
+        Shadow.set_input_pair sh rob.Circuits.enq_uopc uopc_a uopc_b;
+        Shadow.set_input sh rob.Circuits.rollback rb;
+        Shadow.set_input_pair sh rob.Circuits.rollback_idx rbi_a rbi_b;
+        Shadow.set_input sh wen we;
+        Shadow.set_input sh waddr wa;
+        Shadow.set_input_pair sh wdata wd_a wd_b;
+        Shadow.set_input sh raddr ra;
+        Shadow.cycle sh);
+    for k = 0 to N.num_signals nl - 1 do
+      let s = N.signal_of_int nl k in
+      if
+        Shadow.peek_a c s <> Shadow.peek_a i s
+        || Shadow.peek_b c s <> Shadow.peek_b i s
+        || Shadow.taint_of c s <> Shadow.taint_of i s
+      then
+        Alcotest.failf "cycle %d: signal #%d diverges between engines" cycle k
+    done;
+    for w = 0 to N.mem_depth m - 1 do
+      if Shadow.mem_taint c m w <> Shadow.mem_taint i m w then
+        Alcotest.failf "cycle %d: memory word %d taint diverges" cycle w
+    done;
+    Alcotest.(check int) "taint_bit_sum agrees" (Shadow.taint_bit_sum i)
+      (Shadow.taint_bit_sum c);
+    Alcotest.(check int) "tainted_registers agrees"
+      (Shadow.tainted_registers i) (Shadow.tainted_registers c)
+  done
+
+(* The compiled shadow cycle is allocation-free too: all Policy calls are
+   int-in/int-out. *)
+let test_shadow_compiled_cycle_allocation_free () =
+  let rob = Circuits.rob ~entries:8 ~uopc_width:7 in
+  let sh = Shadow.create Policy.Diffift rob.Circuits.rob_nl in
+  Shadow.set_input sh rob.Circuits.enq_valid 1;
+  Shadow.set_input_pair sh rob.Circuits.enq_uopc 0x11 0x22;
+  Shadow.set_input sh rob.Circuits.rollback 0;
+  Shadow.set_input sh rob.Circuits.rollback_idx 0;
+  for _ = 1 to 100 do Shadow.cycle sh done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do Shadow.cycle sh done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "1000 compiled shadow cycles allocated %.0f minor words"
+       delta)
+    true (delta < 64.0)
+
 (* --- properties ---------------------------------------------------------- *)
 
 (* diffIFT taints are a subset of CellIFT taints on random circuits. *)
@@ -378,6 +473,8 @@ let () =
           Alcotest.test_case "mux diffift propagates" `Quick
             test_mux_policy_diffift_propagates;
           Alcotest.test_case "mux data" `Quick test_mux_policy_data;
+          Alcotest.test_case "mux non-zero select" `Quick
+            test_mux_policy_nonzero_select;
           Alcotest.test_case "comparison" `Quick test_cmp_policy;
           Alcotest.test_case "arithmetic" `Quick test_arith_policy;
           Alcotest.test_case "register enable" `Quick test_reg_en_policy;
@@ -400,6 +497,13 @@ let () =
           Alcotest.test_case "clear" `Quick test_clear_taints;
           QCheck_alcotest.to_alcotest prop_diffift_subset_cellift;
           QCheck_alcotest.to_alcotest prop_no_source_no_taint ] );
+      ( "engine",
+        [ Alcotest.test_case "cellift differential" `Quick
+            (shadow_engine_differential Policy.Cellift);
+          Alcotest.test_case "diffift differential" `Quick
+            (shadow_engine_differential Policy.Diffift);
+          Alcotest.test_case "compiled cycle allocation-free" `Quick
+            test_shadow_compiled_cycle_allocation_free ] );
       ( "liveness",
         [ Alcotest.test_case "lfb decoy" `Quick test_liveness_lfb;
           Alcotest.test_case "arity check" `Quick test_liveness_arity_check ] );

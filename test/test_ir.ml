@@ -24,7 +24,23 @@ let test_bits_replicate () =
 
 let test_bits_popcount () =
   Alcotest.(check int) "popcount" 3 (Bits.popcount 0b1011);
-  Alcotest.(check int) "zero" 0 (Bits.popcount 0)
+  Alcotest.(check int) "zero" 0 (Bits.popcount 0);
+  Alcotest.(check int) "max_width ones" 62 (Bits.popcount (Bits.mask 62));
+  (* Negative ints: all 63 two's-complement bits count. *)
+  Alcotest.(check int) "minus one" 63 (Bits.popcount (-1));
+  Alcotest.(check int) "min_int" 1 (Bits.popcount min_int)
+
+(* Bit-at-a-time reference for the SWAR implementation. *)
+let naive_popcount v =
+  let c = ref 0 in
+  for i = 0 to 62 do
+    c := !c + ((v lsr i) land 1)
+  done;
+  !c
+
+let prop_popcount_matches_naive =
+  QCheck.Test.make ~name:"SWAR popcount equals bit-at-a-time reference"
+    ~count:500 QCheck.int (fun v -> Bits.popcount v = naive_popcount v)
 
 let test_bits_spread_up () =
   Alcotest.(check int) "spread from bit1" 0b11111110 (Bits.spread_up 8 0b10);
@@ -124,6 +140,48 @@ let test_width_mismatch_rejected () =
   Alcotest.check_raises "width mismatch"
     (Invalid_argument "Netlist: operand widths differ") (fun () ->
       ignore (N.and_ nl a b))
+
+let string_contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let expect_width_error ~role f =
+  match f () with
+  | exception N.Width_error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the %s: %s" role msg)
+        true (string_contains msg role)
+  | _ -> Alcotest.fail "expected Netlist.Width_error"
+
+(* Regression: a multi-bit selector holding e.g. 2 would have fallen into
+   the engines' old [= 1] truthiness tests and silently picked the wrong
+   arm; the builders now reject them by name. *)
+let test_multibit_mux_select_rejected () =
+  let nl = N.create () in
+  let s = N.input nl ~name:"sel2" 2 in
+  let a = N.input nl 8 and b = N.input nl 8 in
+  expect_width_error ~role:"selector" (fun () -> ignore (N.mux nl s a b))
+
+let test_multibit_reg_enable_rejected () =
+  let nl = N.create () in
+  let en = N.input nl ~name:"en2" 2 in
+  let q = N.reg nl ~name:"q" 8 in
+  let d = N.input nl 8 in
+  expect_width_error ~role:"enable" (fun () ->
+      N.reg_connect nl q ~d ~en ())
+
+let test_multibit_mem_wen_rejected () =
+  let nl = N.create () in
+  let m = N.mem nl ~name:"m" ~width:8 ~depth:8 () in
+  let wen = N.input nl ~name:"wen2" 2 in
+  let addr = N.input nl 3 and data = N.input nl 8 in
+  expect_width_error ~role:"write enable" (fun () ->
+      N.mem_write nl m ~wen ~addr ~data)
+
+let test_validate_accepts_well_formed () =
+  let rob = Circuits.rob ~entries:4 ~uopc_width:7 in
+  N.validate rob.Circuits.rob_nl
 
 let test_modules_and_scoping () =
   let nl = N.create () in
@@ -281,6 +339,134 @@ let prop_xor_self_zero =
       Sim.eval sim;
       Sim.peek sim z = 0)
 
+(* --- compiled vs interpretive engine -------------------------------------- *)
+
+(* A random sequential circuit exercising every opcode of the compiled
+   engine: the full combinational repertoire plus enabled registers and a
+   memory with out-of-range addresses (8-bit addresses into a depth-8
+   array, so the bounds paths run too). *)
+let random_seq_netlist seed =
+  let rng = Dvz_util.Rng.create seed in
+  let nl = N.create () in
+  let inputs8 = Array.init 3 (fun i -> N.input nl ~name:(Printf.sprintf "in%d" i) 8) in
+  let sel_in = N.input nl ~name:"sel" 1 in
+  let regs =
+    Array.init 3 (fun i -> N.reg nl ~name:(Printf.sprintf "r%d" i) ~init:i 8)
+  in
+  let pool8 = ref (Array.to_list inputs8 @ Array.to_list regs) in
+  let pool1 = ref [ sel_in ] in
+  let pick8 () = Dvz_util.Rng.choose_list rng !pool8 in
+  let pick1 () = Dvz_util.Rng.choose_list rng !pool1 in
+  let m = N.mem nl ~name:"m" ~width:8 ~depth:8 () in
+  for _ = 1 to 30 do
+    let a = pick8 () and b = pick8 () in
+    match Dvz_util.Rng.int rng 12 with
+    | 0 -> pool8 := N.and_ nl a b :: !pool8
+    | 1 -> pool8 := N.or_ nl a b :: !pool8
+    | 2 -> pool8 := N.xor_ nl a b :: !pool8
+    | 3 -> pool8 := N.add nl a b :: !pool8
+    | 4 -> pool8 := N.sub nl a b :: !pool8
+    | 5 -> pool8 := N.not_ nl a :: !pool8
+    | 6 -> pool8 := N.mux nl (pick1 ()) a b :: !pool8
+    | 7 -> pool1 := N.eq nl a b :: !pool1
+    | 8 -> pool1 := N.lt nl a b :: !pool1
+    | 9 ->
+        pool8 := N.shl nl a (1 + Dvz_util.Rng.int rng 3) :: !pool8;
+        pool8 := N.shr nl b (1 + Dvz_util.Rng.int rng 3) :: !pool8
+    | 10 ->
+        pool8 :=
+          N.concat nl
+            (N.slice nl a ~lo:0 ~width:4)
+            (N.slice nl b ~lo:4 ~width:4)
+          :: !pool8
+    | _ -> pool8 := N.mem_read nl m a :: !pool8
+  done;
+  N.mem_write nl m ~wen:(pick1 ()) ~addr:(pick8 ()) ~data:(pick8 ());
+  Array.iter
+    (fun q ->
+      let en = if Dvz_util.Rng.int rng 2 = 0 then Some (pick1 ()) else None in
+      N.reg_connect nl q ~d:(pick8 ()) ?en ())
+    regs;
+  (nl, inputs8, sel_in, m)
+
+(* The tentpole invariant: the compiled engine is bit-identical to the
+   interpreter — every signal, every memory word, every tick. *)
+let prop_engines_equivalent =
+  QCheck.Test.make ~name:"compiled engine is bit-identical to interpreter"
+    ~count:25 QCheck.small_int (fun seed ->
+      let nl, inputs8, sel_in, m = random_seq_netlist seed in
+      let c = Sim.create nl in
+      let i = Sim.create ~engine:`Interp nl in
+      let rng = Dvz_util.Rng.create (seed + 1000) in
+      let ok = ref (Sim.engine c = `Compiled && Sim.engine i = `Interp) in
+      for _ = 1 to 30 do
+        Array.iter
+          (fun s ->
+            let v = Dvz_util.Rng.int rng 256 in
+            Sim.set_input c s v;
+            Sim.set_input i s v)
+          inputs8;
+        let sv = Dvz_util.Rng.int rng 2 in
+        Sim.set_input c sel_in sv;
+        Sim.set_input i sel_in sv;
+        Sim.cycle c;
+        Sim.cycle i;
+        for k = 0 to N.num_signals nl - 1 do
+          let s = N.signal_of_int nl k in
+          if Sim.peek c s <> Sim.peek i s then ok := false
+        done;
+        for w = 0 to N.mem_depth m - 1 do
+          if Sim.peek_mem c m w <> Sim.peek_mem i m w then ok := false
+        done
+      done;
+      !ok && Sim.cycles c = Sim.cycles i)
+
+(* The steady-state compiled cycle must not allocate: Gc.minor_words moves
+   only by the float boxes of the probe calls themselves. *)
+let test_compiled_cycle_allocation_free () =
+  let rob = Circuits.rob ~entries:16 ~uopc_width:8 in
+  let sim = Sim.create rob.Circuits.rob_nl in
+  Sim.set_input sim rob.Circuits.enq_valid 1;
+  Sim.set_input sim rob.Circuits.enq_uopc 0x2A;
+  Sim.set_input sim rob.Circuits.rollback 0;
+  Sim.set_input sim rob.Circuits.rollback_idx 0;
+  for _ = 1 to 100 do Sim.cycle sim done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do Sim.cycle sim done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "1000 compiled cycles allocated %.0f minor words" delta)
+    true (delta < 64.0)
+
+let test_hooks_run_in_registration_order () =
+  let c = Circuits.counter ~width:8 in
+  let sim = Sim.create c.Circuits.cnt_nl in
+  Sim.set_input sim c.Circuits.cnt_en 1;
+  let calls = ref [] in
+  for h = 1 to 5 do
+    Sim.on_cycle sim (fun n -> calls := (h, n) :: !calls)
+  done;
+  Sim.cycle sim;
+  Sim.cycle sim;
+  Alcotest.(check (list (pair int int)))
+    "hooks fire in registration order with the new cycle count"
+    [ (1, 1); (2, 1); (3, 1); (4, 1); (5, 1);
+      (1, 2); (2, 2); (3, 2); (4, 2); (5, 2) ]
+    (List.rev !calls)
+
+(* Regression for the quadratic [hooks <- hooks @ [h]] append: registering
+   many hooks and cycling must stay fast and keep order. *)
+let test_many_hooks () =
+  let c = Circuits.counter ~width:8 in
+  let sim = Sim.create c.Circuits.cnt_nl in
+  Sim.set_input sim c.Circuits.cnt_en 1;
+  let count = ref 0 in
+  for _ = 1 to 2_000 do
+    Sim.on_cycle sim (fun _ -> incr count)
+  done;
+  Sim.cycle sim;
+  Alcotest.(check int) "all hooks ran once" 2_000 !count
+
 (* --- VCD ------------------------------------------------------------------ *)
 
 let test_vcd_header_and_changes () =
@@ -316,6 +502,18 @@ let test_vcd_only_changes_dumped () =
   in
   Alcotest.(check int) "single value record for q" 1 (List.length q_lines)
 
+let test_vcd_engines_agree () =
+  let c = Circuits.counter ~width:4 in
+  let drive sim i =
+    Sim.set_input sim c.Circuits.cnt_en (if i < 6 then 1 else 0)
+  in
+  let compiled = Vcd.dump_simulation c.Circuits.cnt_nl ~cycles:8 ~drive in
+  let interp =
+    Vcd.dump_simulation ~engine:`Interp c.Circuits.cnt_nl ~cycles:8 ~drive
+  in
+  Alcotest.(check string) "identical waveforms from both engines" compiled
+    interp
+
 let () =
   Alcotest.run "dvz_ir"
     [ ( "bits",
@@ -324,6 +522,7 @@ let () =
           Alcotest.test_case "bit" `Quick test_bits_bit;
           Alcotest.test_case "replicate" `Quick test_bits_replicate;
           Alcotest.test_case "popcount" `Quick test_bits_popcount;
+          QCheck_alcotest.to_alcotest prop_popcount_matches_naive;
           Alcotest.test_case "spread_up" `Quick test_bits_spread_up ] );
       ( "sim",
         [ Alcotest.test_case "combinational" `Quick test_sim_comb;
@@ -335,8 +534,23 @@ let () =
           Alcotest.test_case "unconnected register" `Quick
             test_unconnected_register_rejected;
           Alcotest.test_case "width mismatch" `Quick test_width_mismatch_rejected;
+          Alcotest.test_case "multi-bit mux select" `Quick
+            test_multibit_mux_select_rejected;
+          Alcotest.test_case "multi-bit reg enable" `Quick
+            test_multibit_reg_enable_rejected;
+          Alcotest.test_case "multi-bit mem wen" `Quick
+            test_multibit_mem_wen_rejected;
+          Alcotest.test_case "validate accepts well-formed" `Quick
+            test_validate_accepts_well_formed;
           Alcotest.test_case "module scoping" `Quick test_modules_and_scoping;
           QCheck_alcotest.to_alcotest prop_xor_self_zero ] );
+      ( "engine",
+        [ QCheck_alcotest.to_alcotest prop_engines_equivalent;
+          Alcotest.test_case "compiled cycle allocation-free" `Quick
+            test_compiled_cycle_allocation_free;
+          Alcotest.test_case "hook order" `Quick
+            test_hooks_run_in_registration_order;
+          Alcotest.test_case "many hooks" `Quick test_many_hooks ] );
       ( "circuits",
         [ Alcotest.test_case "rob update" `Quick test_rob_circuit_update;
           Alcotest.test_case "rob rollback" `Quick test_rob_rollback;
@@ -344,7 +558,8 @@ let () =
       ( "vcd",
         [ Alcotest.test_case "header and changes" `Quick test_vcd_header_and_changes;
           Alcotest.test_case "change-only dumping" `Quick
-            test_vcd_only_changes_dumped ] );
+            test_vcd_only_changes_dumped;
+          Alcotest.test_case "engines agree" `Quick test_vcd_engines_agree ] );
       ( "flatten",
         [ Alcotest.test_case "memory equivalence" `Quick test_flatten_equivalent;
           Alcotest.test_case "cell inflation" `Quick test_flatten_grows_cells;
