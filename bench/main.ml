@@ -136,14 +136,47 @@ module Simbench = struct
       (workloads ())
 
   (* Plain wall-clock measurement for the machine-readable BENCH_sim.json
-     artifact: warm up, then average over a fixed cycle count. *)
+     artifact: warm up, then take the fastest of several fixed-size blocks
+     — scheduler and frequency noise is strictly additive, so the minimum
+     is the stablest estimator and keeps the CI regression gate tight. *)
+  let min_of_blocks ~blocks ~per_block run =
+    let best = ref infinity in
+    for _ = 1 to blocks do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to per_block do run () done;
+      let dt = Unix.gettimeofday () -. t0 in
+      best := Float.min !best (dt *. 1e9 /. float_of_int per_block)
+    done;
+    !best
+
   let measure_ns w =
     for _ = 1 to 2_000 do w.w_cycle 0 done;
-    let cycles = 20_000 in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to cycles do w.w_cycle 0 done;
-    let dt = Unix.gettimeofday () -. t0 in
-    dt *. 1e9 /. float_of_int cycles
+    min_of_blocks ~blocks:5 ~per_block:8_000 (fun () -> w.w_cycle 0)
+
+  (* End-to-end dual-DUT runs through the abstract core model, one entry
+     per IFT mode.  These are the workloads the provenance option must not
+     slow down while disarmed; CI gates them against the committed
+     baseline (normalised by the interp scale to factor out machine
+     speed). *)
+  let e2e_report () =
+    let boom = Cfg.boom_small in
+    let meltdown = E.Attacks.build boom E.Attacks.Meltdown in
+    let stim = Dejavuzz.Packet.stimulus ~secret:E.Attacks.secret meltdown in
+    let measure mode =
+      let run () =
+        ignore
+          (Dvz_uarch.Dualcore.run (Dvz_uarch.Dualcore.create ~mode boom stim))
+      in
+      for _ = 1 to 30 do run () done;
+      min_of_blocks ~blocks:4 ~per_block:100 run
+    in
+    List.map
+      (fun (name, mode) ->
+        Dvz_obs.Json.Obj
+          [ ("name", Dvz_obs.Json.Str name);
+            ("ns_per_run", Dvz_obs.Json.Float (measure mode)) ])
+      [ ("table4/dualcore-diffift-e2e", Dvz_ift.Policy.Diffift);
+        ("fig6/dualcore-cellift-e2e", Dvz_ift.Policy.Cellift) ]
 
   let json_report () =
     let ws = workloads () in
@@ -180,9 +213,10 @@ module Simbench = struct
           "ir/sim-cycle" ]
     in
     Dvz_obs.Json.Obj
-      [ ("schema", Dvz_obs.Json.Str "dvz-bench-sim/1");
+      [ ("schema", Dvz_obs.Json.Str "dvz-bench-sim/2");
         ("benches", Dvz_obs.Json.Arr bench_objs);
-        ("speedups", Dvz_obs.Json.Arr speedups) ]
+        ("speedups", Dvz_obs.Json.Arr speedups);
+        ("e2e", Dvz_obs.Json.Arr (e2e_report ())) ]
 
   let write_json path =
     let json = json_report () in
@@ -282,6 +316,16 @@ let micro_tests () =
       (Staged.stage (fun () ->
            ignore (Dejavuzz.Oracle.analyze boom ~secret completed)))
   in
+  (* The explain pass's unit of work: one armed provenance replay plus
+     backward slicing — the per-finding cost of --explain-dir. *)
+  let explain_stim =
+    Dejavuzz.Packet.stimulus ~secret:E.Attacks.secret meltdown
+  in
+  let explain =
+    Test.make ~name:"explain/provenance-replay"
+      (Staged.stage (fun () ->
+           ignore (Dejavuzz.Explain.explain ~attack:"meltdown" boom explain_stim)))
+  in
   (* Telemetry primitives on the hot path. *)
   let obs_reg = Dvz_obs.Metrics.create () in
   let obs_counter = Dvz_obs.Metrics.counter obs_reg "bench_counter" in
@@ -314,8 +358,8 @@ let micro_tests () =
              (Dvz_resilience.Snapshot.load ~path:snap_path ~magic:"bench")))
   in
   Simbench.tests ()
-  @ [ table3; table4; fig6; fig7; fig7_tel; liveness; obs_incr; obs_observe;
-      fault_tick; snapshot_rt ]
+  @ [ table3; table4; fig6; fig7; fig7_tel; liveness; explain; obs_incr;
+      obs_observe; fault_tick; snapshot_rt ]
 
 let run_micro () =
   banner "Bechamel micro-benchmarks (one per experiment)";

@@ -56,9 +56,17 @@ let metrics_t =
            ~doc:"After the run, dump the metrics registry to stderr as \
                  'json' or 'prometheus' text.")
 
+let explain_dir_t =
+  Arg.(value & opt (some string) None
+       & info [ "explain-dir" ] ~docv:"DIR"
+           ~doc:"Replay every fresh finding with the taint-provenance \
+                 recorder armed and write finding-NNNN.json/.txt/.dot \
+                 secret-to-sink slices into DIR; re-render artifacts with \
+                 'explain'.")
+
 (* Builds a Campaign.telemetry from the shared flags, runs [k] with it and
    closes the event file afterwards. *)
-let with_telemetry file progress every k =
+let with_telemetry ?explain_dir file progress every k =
   let chan =
     match file with
     | None -> None
@@ -78,7 +86,8 @@ let with_telemetry file progress every k =
     { Campaign.quiet with
       Campaign.t_events = sink;
       t_progress_every = (if progress then max 1 every else 0);
-      t_progress = prerr_endline }
+      t_progress = prerr_endline;
+      t_explain_dir = explain_dir }
   in
   Fun.protect
     ~finally:(fun () ->
@@ -185,7 +194,7 @@ let handle_faults k =
 
 let fuzz_cmd =
   let run cfg iterations rng_seed random_training no_coverage telemetry_file
-      progress progress_every metrics resilience =
+      progress progress_every metrics resilience explain_dir =
     handle_faults (fun () ->
         let options =
           { Campaign.default_options with
@@ -194,7 +203,7 @@ let fuzz_cmd =
             coverage_guided = not no_coverage }
         in
         let stats =
-          with_telemetry telemetry_file progress progress_every
+          with_telemetry ?explain_dir telemetry_file progress progress_every
             (fun telemetry -> Campaign.run ~telemetry ~resilience cfg options)
         in
         print_string (Dejavuzz.Report.summary stats);
@@ -217,7 +226,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Run a DejaVuzz fuzzing campaign.")
     Term.(const run $ core_t $ iterations_t 500 $ seed_t $ random_training
           $ no_coverage $ telemetry_t $ progress_t $ progress_every_t
-          $ metrics_t $ resilience_t)
+          $ metrics_t $ resilience_t $ explain_dir_t)
 
 let table2_cmd =
   Cmd.v
@@ -408,6 +417,78 @@ let liveness_cmd =
        ~doc:"Replay SpecDoctor candidates through the liveness oracle.")
     Term.(const run $ iterations_t 150 $ seed_t)
 
+let explain_cmd =
+  let run cfg file dot_file json_file max_slots =
+    let text =
+      match In_channel.with_open_text file In_channel.input_all with
+      | text -> text
+      | exception Sys_error e ->
+          Printf.eprintf "explain: %s\n" e;
+          exit 1
+    in
+    let artifact =
+      match Dvz_obs.Json.of_string text with
+      | Ok j -> j
+      | Error e ->
+          Printf.eprintf "explain: %s: %s\n" file e;
+          exit 1
+    in
+    let budget =
+      if max_slots <= 0 then None
+      else Some (Dvz_uarch.Dualcore.budget ~max_slots ())
+    in
+    let result =
+      (* A provenance artifact carries its full stimulus; a campaign
+         crash artifact only carries the structured seed, so the fuzzing
+         pipeline rebuilds the testcase before the armed replay. *)
+      match Dvz_obs.Json.member "stimulus" artifact with
+      | Some _ -> Dejavuzz.Explain.replay_artifact ?budget artifact
+      | None -> Dejavuzz.Explain.explain_crash ?budget ~core:cfg artifact
+    in
+    match result with
+    | Error e ->
+        Printf.eprintf "explain: %s\n" e;
+        exit 1
+    | Ok x ->
+        print_string (Dejavuzz.Explain.render_text x);
+        let write path render =
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (render x))
+        in
+        Option.iter
+          (fun p -> write p Dejavuzz.Explain.render_dot)
+          dot_file;
+        Option.iter
+          (fun p ->
+            write p (fun x ->
+                Dvz_obs.Json.to_string (Dejavuzz.Explain.to_json x) ^ "\n"))
+          json_file
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"A finding-NNNN.json artifact written by fuzz \
+                   --explain-dir, or a crash-NNNN.json artifact written by \
+                   --crash-dir.")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE"
+             ~doc:"Also write the secret-to-sink slice union as a Graphviz \
+                   digraph to FILE.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write a fresh self-contained provenance artifact \
+                   to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Replay a finding artifact with taint provenance armed and \
+             print its cycle-accurate secret-to-sink slices.")
+    Term.(const run $ core_t $ file $ dot $ json $ max_slots_t)
+
 let replay_log_cmd =
   let run file =
     match Dejavuzz.Replay.of_file file with
@@ -431,6 +512,6 @@ let main =
   Cmd.group (Cmd.info "dejavuzz" ~doc)
     [ fuzz_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd; fig6_cmd;
       fig7_cmd; liveness_cmd; trace_cmd; migrate_cmd; bugs_cmd; ablation_cmd;
-      replay_log_cmd ]
+      replay_log_cmd; explain_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -17,6 +17,7 @@ type finding = {
   fd_components : Oracle.component list;
   fd_kind : [ `Timing | `Encode ];
   fd_iteration : int;
+  fd_source : string option;
 }
 
 type options = {
@@ -38,11 +39,12 @@ type telemetry = {
   t_metrics : Metrics.t;
   t_progress_every : int;
   t_progress : string -> unit;
+  t_explain_dir : string option;
 }
 
 let quiet =
   { t_events = Events.null; t_metrics = Metrics.default;
-    t_progress_every = 0; t_progress = ignore }
+    t_progress_every = 0; t_progress = ignore; t_explain_dir = None }
 
 type crash = {
   cr_iteration : int;
@@ -105,7 +107,7 @@ type checkpoint = {
 }
 
 let checkpoint_magic = "dejavuzz-campaign"
-let checkpoint_version = 1
+let checkpoint_version = 2 (* v2: finding gained fd_source *)
 
 let save_checkpoint ~path (cp : checkpoint) =
   Snapshot.save ~path ~magic:checkpoint_magic ~version:checkpoint_version
@@ -124,7 +126,11 @@ let load_checkpoint ~path : (checkpoint, string) result =
         | cp -> Ok cp
         | exception _ -> Error "checkpoint payload does not unmarshal")
 
-let write_crash_artifact dir (c : crash) =
+(* Alongside the human-readable [seed] string (which truncates the
+   entropies), record everything [Explain.explain_crash] needs to rebuild
+   the testcase: the structured seed, the core, the secret and the
+   campaign's generation settings. *)
+let write_crash_artifact ~core ~options ~secret dir (c : crash) =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path = Filename.concat dir (Printf.sprintf "crash-%04d.json" c.cr_iteration) in
   let json =
@@ -134,6 +140,25 @@ let write_crash_artifact dir (c : crash) =
           match c.cr_seed with
           | None -> Json.Null
           | Some s -> Json.Str (Seed.to_string s) );
+        ( "seed_spec",
+          match c.cr_seed with
+          | None -> Json.Null
+          | Some s ->
+              Json.Obj
+                [ ("kind", Json.Str (Seed.kind_name s.Seed.kind));
+                  ("trigger_entropy", Json.Int s.Seed.trigger_entropy);
+                  ("window_entropy", Json.Int s.Seed.window_entropy);
+                  ("tighten", Json.Bool s.Seed.tighten);
+                  ("mask_high", Json.Bool s.Seed.mask_high) ] );
+        ("core", Json.Str core);
+        ( "secret",
+          Json.Arr (Array.to_list (Array.map (fun v -> Json.Int v) secret)) );
+        ( "taint_mode",
+          Json.Str (Dvz_ift.Policy.mode_name options.taint_mode) );
+        ( "style",
+          Json.Str
+            (match options.style with `Derived -> "derived" | `Random -> "random")
+        );
         ("exn", Json.Str c.cr_exn);
         ("backtrace", Json.Str c.cr_backtrace) ]
   in
@@ -158,11 +183,11 @@ let findings_of_analysis ~iteration seed (a : Oracle.analysis) =
           | Oracle.Timing { components; _ } ->
               { fd_attack = attack; fd_window = seed.Seed.kind;
                 fd_components = components; fd_kind = `Timing;
-                fd_iteration = iteration }
+                fd_iteration = iteration; fd_source = None }
           | Oracle.Encode { components; _ } ->
               { fd_attack = attack; fd_window = seed.Seed.kind;
                 fd_components = components; fd_kind = `Encode;
-                fd_iteration = iteration })
+                fd_iteration = iteration; fd_source = None })
         a.Oracle.a_leaks
 
 let attack_name = function `Meltdown -> "meltdown" | `Spectre -> "spectre"
@@ -178,6 +203,11 @@ let finding_event f =
     ("window", Json.Str (Seed.kind_name f.fd_window));
     ("kind", Json.Str (leak_kind_name f.fd_kind));
     ("components", Json.Arr (List.map (fun c -> Json.Str c) f.fd_components)) ]
+  (* Appended only when attributed, keeping unattributed event lines
+     byte-identical to earlier releases. *)
+  @ match f.fd_source with
+    | None -> []
+    | Some s -> [ ("source", Json.Str s) ]
 
 let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
   let tel = telemetry in
@@ -381,8 +411,12 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
           (* Phase 3 — dual-DUT simulation, coverage, oracles. *)
           let t2 = Clock.now clk in
           let analysis =
-            Oracle.analyze ~mode:options.taint_mode ?budget:rz.rz_budget cfg
-              ~secret completed
+            (* Keep_last 8192 never truncates a real run (stimuli cap at
+               3000 slots); it only bounds the logs of pathological or
+               hung simulations over a long campaign. *)
+            Oracle.analyze ~mode:options.taint_mode
+              ~log_bound:(Dvz_ift.Taintlog.Keep_last 8192)
+              ?budget:rz.rz_budget cfg ~secret completed
           in
           p3 := Clock.now clk -. t2;
           Metrics.observe h_phase3 !p3;
@@ -421,11 +455,53 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
             end
             else corpus := [ tc ];
             Metrics.set g_corpus (float_of_int (List.length !corpus));
+            let fs = findings_of_analysis ~iteration:it tc.Packet.seed analysis in
+            let fresh_exists =
+              List.exists (fun f -> not (Hashtbl.mem seen (dedup_key f))) fs
+            in
+            (* Two-pass provenance: only a fresh finding triggers the armed
+               replay, and the replay draws nothing from the RNG — resumed
+               or explain-less runs stay bit-identical. *)
+            let source =
+              match tel.t_explain_dir with
+              | Some dir when fresh_exists ->
+                  let x =
+                    Explain.explain ?budget:rz.rz_budget
+                      ?attack:(Option.map attack_name analysis.Oracle.a_attack)
+                      ~mode:options.taint_mode cfg
+                      (Packet.stimulus ~secret completed)
+                  in
+                  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                  let base =
+                    Filename.concat dir (Printf.sprintf "finding-%04d" it)
+                  in
+                  Out_channel.with_open_text (base ^ ".json") (fun oc ->
+                      output_string oc (Json.to_string (Explain.to_json x));
+                      output_char oc '\n');
+                  Out_channel.with_open_text (base ^ ".txt") (fun oc ->
+                      output_string oc (Explain.render_text x));
+                  Out_channel.with_open_text (base ^ ".dot") (fun oc ->
+                      output_string oc (Explain.render_dot x));
+                  if events_on then
+                    Events.emit tel.t_events
+                      [ ("type", Json.Str "provenance_trace");
+                        ("iteration", Json.Int it);
+                        ("artifact", Json.Str (base ^ ".json"));
+                        ( "source",
+                          match Explain.source x with
+                          | None -> Json.Null
+                          | Some s -> Json.Str s );
+                        ("sinks", Json.Int (List.length x.Explain.x_live_sinks));
+                        ("edges", Json.Int x.Explain.x_edges_total) ];
+                  Explain.source x
+              | _ -> None
+            in
             List.iter
               (fun f ->
                 let key = dedup_key f in
                 if not (Hashtbl.mem seen key) then begin
                   Hashtbl.replace seen key ();
+                  let f = { f with fd_source = source } in
                   findings := f :: !findings;
                   incr n_findings;
                   incr new_findings;
@@ -433,7 +509,7 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
                   if events_on then Events.emit tel.t_events (finding_event f)
                 end
                 else Metrics.incr m_dedup)
-              (findings_of_analysis ~iteration:it tc.Packet.seed analysis)
+              fs
           end
     in
     (try body () with
@@ -456,7 +532,9 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
         crashes := crash :: !crashes;
         Metrics.incr m_crashes;
         (match rz.rz_crash_dir with
-        | Some dir -> write_crash_artifact dir crash
+        | Some dir ->
+            write_crash_artifact ~core:cfg.Dvz_uarch.Config.name ~options
+              ~secret dir crash
         | None -> ());
         if events_on then
           Events.emit tel.t_events

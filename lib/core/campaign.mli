@@ -14,6 +14,9 @@ type finding = {
   fd_components : Oracle.component list;
   fd_kind : [ `Timing | `Encode ];
   fd_iteration : int;
+  fd_source : string option;
+      (** the secret element the provenance replay attributed the leak
+          to; [None] unless the campaign ran with an explain directory *)
 }
 
 type options = {
@@ -45,6 +48,14 @@ type telemetry = {
           all campaign timing. *)
   t_progress_every : int;  (** emit progress every N iterations; 0 = off *)
   t_progress : string -> unit;  (** receives each rendered progress line *)
+  t_explain_dir : string option;
+      (** when set, every iteration that yields a fresh finding is
+          replayed once with the taint-provenance recorder armed
+          ({!Explain.explain}); the directory receives
+          [finding-NNNN.json]/[.txt]/[.dot] artifacts, a
+          [provenance_trace] event is emitted and the finding's
+          [fd_source] is filled in.  The replay draws nothing from the
+          campaign RNG, so fuzzing results are unchanged. *)
 }
 
 val quiet : telemetry

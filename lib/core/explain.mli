@@ -1,0 +1,77 @@
+(** Finding attribution — the provenance "explain" pass.
+
+    Campaigns fuzz untraced; when the oracle flags a finding, the same
+    packet is deterministically replayed here with a
+    {!Dvz_ift.Provenance} recorder armed on the dual-DUT testbench.  The
+    recorded taint-introduction DAG is then sliced backwards from each
+    live tainted sink to the planted secret words, yielding a
+    cycle-accurate secret→sink explanation renderable as a text timeline,
+    a DOT graph and a replayable JSON artifact. *)
+
+type slice = {
+  sl_sink : string;  (** [Elem.to_string] of the sink *)
+  sl_edges : Dvz_ift.Provenance.edge list;  (** chronological *)
+}
+
+type t = {
+  x_core : string;
+  x_mode : Dvz_ift.Policy.mode;
+  x_attack : string option;
+  x_secret : int array;
+  x_stimulus : Dvz_uarch.Core.stimulus;
+  x_live_sinks : string list;
+  x_source : string option;
+      (** the attributed secret source: the first [Source] edge reached
+          by any sink's backward slice *)
+  x_slices : slice list;
+  x_edges_total : int;
+  x_dropped : int;
+  x_timed_out : bool;
+  x_prov : Dvz_ift.Provenance.t;  (** the armed recorder, for rendering *)
+}
+
+val explain :
+  ?budget:Dvz_uarch.Dualcore.budget ->
+  ?attack:string ->
+  ?mode:Dvz_ift.Policy.mode ->
+  Dvz_uarch.Config.t ->
+  Dvz_uarch.Core.stimulus ->
+  t
+(** Replays the stimulus with provenance armed and slices every live
+    tainted microarchitectural sink (per {!Oracle.microarch_sink}) back
+    to its source.  When liveness filtering leaves no sink — a
+    timing-only finding — the dead microarchitectural sinks are sliced
+    instead.  Deterministic: the same stimulus yields byte-identical
+    renders.  Counted in [dvz_provenance_traces_total] /
+    [dvz_provenance_edges_total]. *)
+
+val source : t -> string option
+
+val render_text : t -> string
+(** Header (core, mode, attack, attributed source, sinks, edge count)
+    followed by one text timeline per slice. *)
+
+val render_dot : t -> string
+(** Graphviz digraph over the union of all slices. *)
+
+val to_json : t -> Dvz_obs.Json.t
+(** Self-contained artifact (schema ["dvz-explain/1"]): identity, secret,
+    the full stimulus (blobs, schedule, data, perms) and the slices —
+    everything {!replay_artifact} needs. *)
+
+val replay_artifact :
+  ?budget:Dvz_uarch.Dualcore.budget -> Dvz_obs.Json.t ->
+  (t, string) result
+(** Re-runs {!explain} from a {!to_json} artifact. *)
+
+val explain_crash :
+  ?budget:Dvz_uarch.Dualcore.budget ->
+  ?core:Dvz_uarch.Config.t ->
+  Dvz_obs.Json.t ->
+  (t, string) result
+(** Best-effort explain from a campaign crash artifact
+    ([crash-NNNN.json]): rebuilds the testcase from the structured
+    [seed_spec] via the fresh-seed pipeline (generate → evaluate →
+    reduce → complete) and replays it armed.  [core] is the fallback
+    when the artifact predates the [core] field.  Corpus-mutation
+    iterations are not reproducible from the seed alone. *)

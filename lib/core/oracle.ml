@@ -87,11 +87,11 @@ let attack_of_result result =
       if List.exists (fun w -> w.Core.wr_secret_fault) ws then Some `Meltdown
       else Some `Spectre
 
-let analyze ?(use_liveness = true) ?(mode = Dvz_ift.Policy.Diffift) ?budget cfg
-    ~secret tc =
+let analyze ?(use_liveness = true) ?(mode = Dvz_ift.Policy.Diffift) ?log_bound
+    ?budget cfg ~secret tc =
   let run tcase =
     Dualcore.run ?budget
-      (Dualcore.create ~mode cfg (Packet.stimulus ~secret tcase))
+      (Dualcore.create ?log_bound ~mode cfg (Packet.stimulus ~secret tcase))
   in
   let result = run tc in
   if result.Dualcore.r_timed_out then begin
@@ -150,7 +150,8 @@ let analyze ?(use_liveness = true) ?(mode = Dvz_ift.Policy.Diffift) ?budget cfg
 
 let is_leak a = a.a_leaks <> []
 
-let analyze_with_retries ?use_liveness ?(retries = 3) ?budget cfg ~secret tc =
+let analyze_with_retries ?use_liveness ?(retries = 3) ?log_bound ?budget cfg
+    ~secret tc =
   (* Deterministic secret-pair variations: rotate and perturb the original
      so consecutive attempts disagree on different bit positions. *)
   let variant k =
@@ -158,7 +159,7 @@ let analyze_with_retries ?use_liveness ?(retries = 3) ?budget cfg ~secret tc =
   in
   let rec go k =
     let s = if k = 0 then secret else variant k in
-    let a = analyze ?use_liveness ?budget cfg ~secret:s tc in
+    let a = analyze ?use_liveness ?log_bound ?budget cfg ~secret:s tc in
     if is_leak a || a.a_timed_out || k + 1 >= max 1 retries then a
     else go (k + 1)
   in

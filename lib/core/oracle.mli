@@ -39,9 +39,15 @@ val component_of_module : string -> component option
 (** Maps an {!Dvz_uarch.Elem.module_of} tag to its Table 5 label; [None]
     for architectural state, which is not a sink. *)
 
+val microarch_sink : Dvz_uarch.Elem.t -> bool
+(** True for elements the oracle counts as microarchitectural sinks —
+    everything except architectural state (ARF, memory, the pc).  Exposed
+    so the provenance explain pass filters live sinks identically. *)
+
 val analyze :
   ?use_liveness:bool ->
   ?mode:Dvz_ift.Policy.mode ->
+  ?log_bound:Dvz_ift.Taintlog.bound ->
   ?budget:Dvz_uarch.Dualcore.budget ->
   Dvz_uarch.Config.t ->
   secret:int array ->
@@ -52,12 +58,15 @@ val analyze :
     evaluation (residual PRF/RoB taints become false positives); [mode]
     selects the IFT policy driving the testbench ([Diffift] by default —
     [Cellift] shows how control-flow over-tainting floods the oracle).
-    [budget] arms a watchdog on each testbench run: a run that exceeds it
-    yields [a_timed_out = true] instead of hanging. *)
+    [log_bound] bounds the per-slot taint log of each testbench run (long
+    campaigns otherwise accumulate unbounded logs); [budget] arms a
+    watchdog on each run: a run that exceeds it yields
+    [a_timed_out = true] instead of hanging. *)
 
 val analyze_with_retries :
   ?use_liveness:bool ->
   ?retries:int ->
+  ?log_bound:Dvz_ift.Taintlog.bound ->
   ?budget:Dvz_uarch.Dualcore.budget ->
   Dvz_uarch.Config.t ->
   secret:int array ->

@@ -31,7 +31,8 @@ let finding_of_event ev =
                 List.filter_map Json.to_str
                   (Json.to_list
                      (Option.value ~default:Json.Null
-                        (Json.member "components" ev))) }
+                        (Json.member "components" ev)));
+              fd_source = str "source" }
       | _ -> Error "finding event with unknown attack/window/kind")
   | _ -> Error "finding event missing iteration/attack/window/kind"
 

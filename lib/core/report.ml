@@ -1,7 +1,7 @@
 module Tablefmt = Dvz_util.Tablefmt
 
 let finding_to_string f =
-  Printf.sprintf "[iter %4d] %-8s %-22s via %-6s -> {%s}"
+  Printf.sprintf "[iter %4d] %-8s %-22s via %-6s -> {%s}%s"
     f.Campaign.fd_iteration
     (match f.Campaign.fd_attack with
     | `Meltdown -> "Meltdown"
@@ -9,6 +9,9 @@ let finding_to_string f =
     (Seed.kind_name f.Campaign.fd_window)
     (match f.Campaign.fd_kind with `Timing -> "timing" | `Encode -> "encode")
     (String.concat ", " f.Campaign.fd_components)
+    (match f.Campaign.fd_source with
+    | None -> ""
+    | Some s -> "  src=" ^ s)
 
 let window_group = function
   | Seed.T_access_fault | Seed.T_page_fault | Seed.T_misalign -> "mem-excp"

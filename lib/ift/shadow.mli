@@ -17,10 +17,20 @@ type engine = Dvz_ir.Sim.engine
     directly and is the reference the compiled engine is differentially
     tested against. *)
 
-val create : ?engine:engine -> Policy.mode -> Dvz_ir.Netlist.t -> t
+val create :
+  ?provenance:Provenance.t -> ?engine:engine -> Policy.mode ->
+  Dvz_ir.Netlist.t -> t
 (** Builds a shadow co-simulator with all taints clear.  [engine] defaults
     to [`Compiled].  Raises {!Dvz_ir.Netlist.Width_error} if a mux
-    selector, register enable or memory write enable is not 1 bit wide. *)
+    selector, register enable or memory write enable is not 1 bit wide.
+
+    When [provenance] is given the co-simulator is {e armed}: tainted
+    inputs and differing memory pokes are recorded as taint sources, and
+    every 0→tainted transition of a signal or memory word appends a
+    [Cell]-kind edge naming its tainted operands.  Armed evaluation runs
+    on the interpretive cells (pinned bit-identical to the compiled
+    engine by the differential tests); without [provenance] the selected
+    engine runs unchanged, with no per-cell overhead. *)
 
 val mode : t -> Policy.mode
 
@@ -46,6 +56,10 @@ val step : t -> unit
 (** Clock edge for both instances and the shadow state. *)
 
 val cycle : t -> unit
+
+val ticks : t -> int
+(** Clock edges stepped so far — the timestamp stamped on armed-mode
+    provenance edges. *)
 
 val peek_a : t -> Dvz_ir.Netlist.signal -> int
 val peek_b : t -> Dvz_ir.Netlist.signal -> int

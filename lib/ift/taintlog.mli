@@ -11,20 +11,33 @@ type entry = {
   per_module : (string * int) list;  (** tainted registers per module tag *)
 }
 
+type bound =
+  | Unbounded
+  | Keep_first of int  (** keep only the first [n] entries *)
+  | Keep_last of int  (** keep a sliding window of the last [n] entries *)
+  | Stride of int  (** keep every [k]-th entry (cycles [0, k, 2k, ...]) *)
+(** Memory policy for long campaigns: the log otherwise grows without
+    bound, one entry per simulated cycle. *)
+
 type t
 
-val create : unit -> t
+val create : ?bound:bound -> unit -> t
+(** Defaults to [Unbounded].  Raises [Invalid_argument] on a non-positive
+    bound parameter. *)
 
 val record : t -> Shadow.t -> unit
-(** Snapshots the shadow state as the next cycle's entry. *)
+(** Snapshots the shadow state as the next cycle's entry.  The cycle
+    counter always advances; whether the entry is retained is up to the
+    bound policy. *)
 
 val entries : t -> entry list
-(** All entries in chronological order. *)
+(** Retained entries in chronological order. *)
 
 val totals : t -> int list
-(** Total-taint series, one point per recorded cycle. *)
+(** Total-taint series, one point per retained cycle. *)
 
 val length : t -> int
+(** Cycles recorded (including entries a bound discarded). *)
 
 val max_total : t -> int
 (** Peak of the total-taint series; 0 for an empty log. *)

@@ -13,18 +13,39 @@ let hist_json (h : Metrics.hist_snapshot) =
       ("count", Json.Int h.Metrics.hs_count);
       ("sum", Json.Float h.Metrics.hs_sum) ]
 
+(* JSON keeps raw metric names (the registry already guarantees their
+   uniqueness), but guard hand-built snapshots against exact duplicates:
+   a repeated key in a JSON object silently shadows on parse. *)
+let uniq_keys entries =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun (n, v) ->
+      match Hashtbl.find_opt seen n with
+      | None ->
+          Hashtbl.replace seen n 1;
+          (n, v)
+      | Some count ->
+          Hashtbl.replace seen n (count + 1);
+          (Printf.sprintf "%s_dup%d" n (count + 1), v))
+    entries
+
 let snapshot_json (s : Metrics.snapshot) =
   Json.Obj
     [ ( "counters",
         Json.Obj
-          (List.map (fun (n, _, v) -> (n, Json.Int v)) s.Metrics.sn_counters) );
+          (uniq_keys
+             (List.map (fun (n, _, v) -> (n, Json.Int v)) s.Metrics.sn_counters))
+      );
       ( "gauges",
         Json.Obj
-          (List.map (fun (n, _, v) -> (n, Json.Float v)) s.Metrics.sn_gauges) );
+          (uniq_keys
+             (List.map (fun (n, _, v) -> (n, Json.Float v)) s.Metrics.sn_gauges))
+      );
       ( "histograms",
         Json.Obj
-          (List.map (fun (n, _, h) -> (n, hist_json h)) s.Metrics.sn_histograms)
-      ) ]
+          (uniq_keys
+             (List.map (fun (n, _, h) -> (n, hist_json h))
+                s.Metrics.sn_histograms)) ) ]
 
 let render_json t = Json.to_string (snapshot_json (Metrics.snapshot t))
 
@@ -69,24 +90,66 @@ let header buf name help kind =
       (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
   Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
 
+(* [sanitize_name] is many-to-one ("a.b" and "a:b"... map to the same
+   series), so distinct registered metrics could silently collide in the
+   exposition.  Resolve every raw name through one shared table: within a
+   group of raw names sharing a sanitized form, the first in sorted order
+   keeps it and the rest get a deterministic "_dupN" suffix (kept unique
+   against the whole namespace). *)
+let disambiguate raw_names =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun raw ->
+      let s = sanitize_name raw in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups s) in
+      Hashtbl.replace groups s (raw :: prev))
+    (List.sort_uniq compare raw_names);
+  let used = Hashtbl.create 16 in
+  Hashtbl.iter (fun s _ -> Hashtbl.replace used s ()) groups;
+  let resolved = Hashtbl.create 16 in
+  List.iter
+    (fun (s, raws) ->
+      List.iteri
+        (fun i raw ->
+          if i = 0 then Hashtbl.replace resolved raw s
+          else begin
+            let candidate = ref (Printf.sprintf "%s_dup%d" s (i + 1)) in
+            while Hashtbl.mem used !candidate do
+              candidate := !candidate ^ "_"
+            done;
+            Hashtbl.replace used !candidate ();
+            Hashtbl.replace resolved raw !candidate
+          end)
+        (List.sort compare raws))
+    (List.sort compare
+       (Hashtbl.fold (fun s raws acc -> (s, raws) :: acc) groups []));
+  fun raw -> try Hashtbl.find resolved raw with Not_found -> sanitize_name raw
+
 let prometheus t =
   let s = Metrics.snapshot t in
+  let resolve =
+    (* Counters, gauges and histograms share one Prometheus namespace. *)
+    disambiguate
+      (List.map (fun (n, _, _) -> n) s.Metrics.sn_counters
+      @ List.map (fun (n, _, _) -> n) s.Metrics.sn_gauges
+      @ List.map (fun (n, _, _) -> n) s.Metrics.sn_histograms)
+  in
   let buf = Buffer.create 1024 in
   List.iter
     (fun (name, help, v) ->
-      let name = sanitize_name name in
+      let name = resolve name in
       header buf name help "counter";
       Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
     s.Metrics.sn_counters;
   List.iter
     (fun (name, help, v) ->
-      let name = sanitize_name name in
+      let name = resolve name in
       header buf name help "gauge";
       Buffer.add_string buf (Printf.sprintf "%s %s\n" name (float_str v)))
     s.Metrics.sn_gauges;
   List.iter
     (fun (name, help, h) ->
-      let name = sanitize_name name in
+      let name = resolve name in
       header buf name help "histogram";
       let cum = ref 0 in
       List.iter

@@ -9,7 +9,9 @@
 val snapshot_json : Metrics.snapshot -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}]; each
     histogram carries [buckets] (upper bound → count, non-cumulative),
-    [count] and [sum]. *)
+    [count] and [sum].  Keys are the raw metric names (unique by registry
+    construction); exact duplicates in a hand-built snapshot are suffixed
+    ["_dupN"] rather than silently shadowing on parse. *)
 
 val render_json : Metrics.t -> string
 (** One-line JSON of {!snapshot_json} of the registry. *)
@@ -17,7 +19,10 @@ val render_json : Metrics.t -> string
 val sanitize_name : string -> string
 (** Maps a metric name into the Prometheus charset
     [[a-zA-Z0-9_:]] (other bytes become ['_'], a leading digit gains
-    ['_']). *)
+    ['_']).  Many-to-one: distinct raw names can sanitize identically —
+    {!prometheus} detects such collisions across its whole namespace and
+    deterministically disambiguates them (sorted order; the first keeps
+    the sanitized name, later ones gain a ["_dupN"] suffix). *)
 
 val escape_help : string -> string
 (** HELP-comment escaping: backslash and newline. *)

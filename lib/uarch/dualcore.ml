@@ -58,7 +58,10 @@ type t = {
   core_a : Core.t;
   core_b : Core.t;
   taint : Taintstate.t;
+  prov : Dvz_ift.Provenance.t option;
+  log_bound : Dvz_ift.Taintlog.bound;
   mutable log : log_entry list;
+  mutable log_len : int;
   mutable slots : int;
   mutable taint_hwm : int;
   mutable hung : bool;
@@ -71,7 +74,12 @@ let default_secret_b secret =
      original to minimise identical-value false negatives. *)
   Array.map (fun v -> v lxor 0xFFFFFFFF) secret
 
-let create ?(mode = Dvz_ift.Policy.Diffift) ?secret_b cfg stim =
+let create ?provenance ?(log_bound = Dvz_ift.Taintlog.Unbounded)
+    ?(mode = Dvz_ift.Policy.Diffift) ?secret_b cfg stim =
+  (match log_bound with
+  | Dvz_ift.Taintlog.Unbounded -> ()
+  | Keep_first n | Keep_last n | Stride n ->
+      if n <= 0 then invalid_arg "Dualcore.create: log_bound must be positive");
   let secret_b =
     match secret_b with
     | Some s -> s
@@ -93,16 +101,51 @@ let create ?(mode = Dvz_ift.Policy.Diffift) ?secret_b cfg stim =
   in
   let core_a = Core.create cfg stim in
   let core_b = Core.create cfg stim_b in
-  let taint = Taintstate.create mode in
+  let taint = Taintstate.create ?provenance mode in
+  (* The planted secret words are the taint origins; stamp them before
+     slot 0 so replayed slices bottom out at the secret access. *)
+  (match provenance with
+  | Some p -> Dvz_ift.Provenance.set_context p ~time:(-1) ~in_window:false
+  | None -> ());
   Array.iteri
-    (fun i _ -> Taintstate.set_tainted taint (Elem.Mem ((Layout.secret_base / 8) + i)))
+    (fun i _ ->
+      let e = Elem.Mem ((Layout.secret_base / 8) + i) in
+      (match provenance with
+      | Some p -> Dvz_ift.Provenance.source p (Elem.to_string e)
+      | None -> ());
+      Taintstate.set_tainted taint e)
     stim.Core.st_secret;
-  { core_a; core_b; taint; log = []; slots = 0; taint_hwm = 0;
+  { core_a; core_b; taint; prov = provenance; log_bound; log = [];
+    log_len = 0; slots = 0; taint_hwm = 0;
     hung = false; corrupted = false; timed_out = false }
 
 let core_a t = t.core_a
 let core_b t = t.core_b
 let taint t = t.taint
+
+(* Per-slot log push under the configured bound.  [t.log] is newest-first;
+   [Keep_last] trims amortised (only once the list doubles) so the hot
+   path stays O(1) per slot. *)
+let push_log t e =
+  match t.log_bound with
+  | Dvz_ift.Taintlog.Unbounded ->
+      t.log <- e :: t.log;
+      t.log_len <- t.log_len + 1
+  | Keep_first n -> if t.log_len < n then begin
+      t.log <- e :: t.log;
+      t.log_len <- t.log_len + 1
+    end
+  | Keep_last n ->
+      t.log <- e :: t.log;
+      t.log_len <- t.log_len + 1;
+      if t.log_len >= 2 * n then begin
+        t.log <- List.filteri (fun i _ -> i < n) t.log;
+        t.log_len <- n
+      end
+  | Stride k -> if t.slots mod k = 0 then begin
+      t.log <- e :: t.log;
+      t.log_len <- t.log_len + 1
+    end
 
 let step t =
   (match Dvz_resilience.Fault.tick ~cycle:t.slots with
@@ -122,18 +165,21 @@ let step t =
     (match (sa, sb) with
     | None, None -> ()
     | _ ->
-        Taintstate.apply_pair t.taint sa sb;
         let in_window =
           match sa with Some s -> s.Effect.sl_transient | None -> false
         in
+        (match t.prov with
+        | Some p ->
+            Dvz_ift.Provenance.set_context p ~time:t.slots ~in_window
+        | None -> ());
+        Taintstate.apply_pair t.taint sa sb;
         let total = Taintstate.tainted_count t.taint in
         if total > t.taint_hwm then t.taint_hwm <- total;
-        t.log <-
+        push_log t
           { le_slot = t.slots;
             le_total = total;
             le_per_module = Taintstate.tainted_by_module t.taint;
-            le_in_window = in_window }
-          :: t.log);
+            le_in_window = in_window });
     t.slots <- t.slots + 1;
     not (Core.is_done t.core_a && Core.is_done t.core_b)
   end
@@ -155,9 +201,15 @@ let collect t =
         Core.cycles t.core_b + 7 )
     else (windows_b, Core.cycles t.core_b)
   in
+  let rev_log =
+    match t.log_bound with
+    | Dvz_ift.Taintlog.Keep_last n when t.log_len > n ->
+        List.filteri (fun i _ -> i < n) t.log
+    | _ -> t.log
+  in
   { r_windows_a = Core.windows t.core_a;
     r_windows_b = windows_b;
-    r_log = List.rev t.log;
+    r_log = List.rev rev_log;
     r_slots = t.slots;
     r_cycles_a = Core.cycles t.core_a;
     r_cycles_b = cycles_b;

@@ -46,6 +46,8 @@ val budget :
 type t
 
 val create :
+  ?provenance:Dvz_ift.Provenance.t ->
+  ?log_bound:Dvz_ift.Taintlog.bound ->
   ?mode:Dvz_ift.Policy.mode ->
   ?secret_b:int array ->
   Config.t ->
@@ -54,7 +56,16 @@ val create :
 (** [create cfg stim] builds the testbench.  [secret_b] defaults to the
     bitwise complement of [stim.st_secret] (low 32 bits); pass
     [stim.st_secret] itself to reproduce the diffIFT^FN worst case.
-    [mode] defaults to [Diffift]. *)
+    [mode] defaults to [Diffift].
+
+    [provenance] arms element-granularity taint tracing for a replay
+    pass: the planted secret words are recorded as sources (at time -1)
+    and every taint transition appends an edge stamped with the current
+    slot and window context; the simulation itself is unaffected.
+
+    [log_bound] (default [Unbounded]) bounds the per-slot taint log kept
+    in [r_log] for long campaigns; the taint state, metrics and high-water
+    mark are unaffected by discarded entries. *)
 
 val core_a : t -> Core.t
 val core_b : t -> Core.t

@@ -1,4 +1,5 @@
 module Policy = Dvz_ift.Policy
+module Provenance = Dvz_ift.Provenance
 
 module Eset = struct
   include Hashtbl
@@ -15,11 +16,12 @@ type t = {
           taint transitions — [tainted_by_module] is read once per logged
           slot, and rebuilding it by walking every tainted element (each
           [Elem.module_of] call formats a bank name) dominated the log *)
+  prov : Provenance.t option;
 }
 
-let create mode =
+let create ?provenance mode =
   { mode; taints = Hashtbl.create 256; saved = Hashtbl.create 64;
-    by_module = Hashtbl.create 16 }
+    by_module = Hashtbl.create 16; prov = provenance }
 
 let mode t = t.mode
 
@@ -46,21 +48,62 @@ let set t e v = if v then set_tainted t e else clear_tainted t e
 
 let any_tainted t es = List.exists (is_tainted t) es
 
+(* Provenance labels for tainted predecessors, deduplicated so paired
+   slots ([sa @ sb]) don't yield doubled source lists. *)
+let tainted_src_labels t srcs =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun e -> if is_tainted t e then Some (Elem.to_string e) else None)
+       srcs)
+
 let write t ~diverged dst srcs =
+  (match t.prov with
+  | None -> ()
+  | Some p ->
+      let labels = tainted_src_labels t srcs in
+      let incoming = labels <> [] || diverged in
+      if incoming && not (is_tainted t dst) then
+        let kind, labels =
+          if labels <> [] then (Provenance.Data, labels)
+          else (Provenance.Divergence, [])
+        in
+        Provenance.record p ~dst:(Elem.to_string dst) ~srcs:labels kind);
   let incoming = any_tainted t srcs || diverged in
   match t.mode with
   | Policy.Cellift -> if incoming then set_tainted t dst
   | Policy.Diffift -> set t dst incoming
 
-let ctrl t ~diverged ~st ~diff touched =
+let ctrl ?(label = "ctrl") ?(psrcs = []) t ~diverged ~st ~diff touched =
   let propagate =
     st && (match t.mode with Policy.Cellift -> true | Policy.Diffift -> diff)
   in
-  if propagate || (diverged && st) then List.iter (set_tainted t) touched
+  if propagate || (diverged && st) then
+    match t.prov with
+    | None -> List.iter (set_tainted t) touched
+    | Some p ->
+        let labels = tainted_src_labels t psrcs in
+        let kind, labels =
+          if labels <> [] then (Provenance.Ctrl label, labels)
+          else (Provenance.Divergence, [])
+        in
+        List.iter
+          (fun e ->
+            if not (is_tainted t e) then
+              Provenance.record p ~dst:(Elem.to_string e) ~srcs:labels kind;
+            set_tainted t e)
+          touched
 
 let copy_regs_to_spec t =
   for i = 0 to 31 do
-    set t (Elem.Sreg i) (is_tainted t (Elem.Areg i))
+    let v = is_tainted t (Elem.Areg i) in
+    (match t.prov with
+    | Some p when v && not (is_tainted t (Elem.Sreg i)) ->
+        Provenance.record p
+          ~dst:(Elem.to_string (Elem.Sreg i))
+          ~srcs:[ Elem.to_string (Elem.Areg i) ]
+          Provenance.Data
+    | _ -> ());
+    set t (Elem.Sreg i) v
   done
 
 let snapshot t elems =
@@ -71,7 +114,15 @@ let restore t elems =
   List.iter
     (fun e ->
       match Hashtbl.find_opt t.saved e with
-      | Some v -> set t e v
+      | Some v ->
+          (match t.prov with
+          | Some p when v && not (is_tainted t e) ->
+              (* A squash re-establishing taint from the checkpoint: the
+                 element is its own predecessor, one taint epoch earlier. *)
+              Provenance.record p ~dst:(Elem.to_string e)
+                ~srcs:[ Elem.to_string e ] Provenance.Restore
+          | _ -> ());
+          set t e v
       | None -> ())
     elems
 
@@ -80,10 +131,11 @@ let apply_event t ~diverged = function
   | Effect.Copy_regs_to_spec -> copy_regs_to_spec t
   | Effect.Snapshot elems -> snapshot t elems
   | Effect.Restore elems -> restore t elems
-  | Effect.Ctrl { srcs; touched; _ } ->
+  | Effect.Ctrl { kind; srcs; touched; _ } ->
       (* Unpaired control decision: the twin did something else entirely,
          so the decision certainly differs. *)
-      ctrl t ~diverged ~st:(any_tainted t srcs || diverged) ~diff:true touched
+      ctrl ~label:(Effect.ctrl_kind_name kind) ~psrcs:srcs t ~diverged
+        ~st:(any_tainted t srcs || diverged) ~diff:true touched
 
 (* An event present in one instance but not the other (e.g. a cache fill on
    a hit/miss divergence): the difference itself is secret-dependent, so
@@ -94,8 +146,9 @@ let apply_event t ~diverged = function
    taint just because a neighbouring cache fill was asymmetric. *)
 let apply_event_unpaired t ~diverged = function
   | Effect.Write (dst, srcs) -> write t ~diverged dst srcs
-  | Effect.Ctrl { srcs; touched; _ } ->
-      ctrl t ~diverged ~st:(any_tainted t srcs || diverged) ~diff:true touched
+  | Effect.Ctrl { kind; srcs; touched; _ } ->
+      ctrl ~label:(Effect.ctrl_kind_name kind) ~psrcs:srcs t ~diverged
+        ~st:(any_tainted t srcs || diverged) ~diff:true touched
   | (Effect.Copy_regs_to_spec | Effect.Snapshot _ | Effect.Restore _) as e ->
       apply_event t ~diverged e
 
@@ -106,7 +159,8 @@ let apply_event_pair t ~diverged ea eb =
     when ka = kb ->
       let st = any_tainted t (sa @ sb) || diverged in
       let diff = va <> vb || diverged in
-      ctrl t ~diverged ~st ~diff (ta @ tb)
+      ctrl ~label:(Effect.ctrl_kind_name ka) ~psrcs:(sa @ sb) t ~diverged ~st
+        ~diff (ta @ tb)
   | Effect.Write (da, sa), Effect.Write (db, sb) when Elem.equal da db ->
       write t ~diverged da (sa @ sb)
   | _ ->

@@ -19,7 +19,14 @@
 
 type t
 
-val create : Dvz_ift.Policy.mode -> t
+val create : ?provenance:Dvz_ift.Provenance.t -> Dvz_ift.Policy.mode -> t
+(** With [provenance], every 0→tainted transition of an element appends an
+    edge to the recorder naming the tainted predecessors — [Data] for
+    writes and architectural→speculative register copies, [Ctrl] (labelled
+    with the decision kind) for control propagation, [Divergence] when the
+    transition is forced by instruction-stream divergence alone, and
+    [Restore] when a squash re-establishes checkpointed taint.  Without
+    it, propagation runs on the original fast paths untouched. *)
 
 val mode : t -> Dvz_ift.Policy.mode
 

@@ -38,9 +38,13 @@ let render_windows windows =
 let render_taint_log ?(every = 1) log =
   let every = max 1 every in
   let buf = Buffer.create 512 in
+  let n = List.length log in
   List.iteri
     (fun i (e : Dualcore.log_entry) ->
-      if i mod every = 0 then begin
+      (* Sample on the slot number, not the list position, so truncated or
+         resumed logs stay aligned on the same slots; the final entry is
+         always rendered. *)
+      if e.Dualcore.le_slot mod every = 0 || i = n - 1 then begin
         Buffer.add_string buf
           (Printf.sprintf "slot %-5d total=%-4d %s %s\n" e.Dualcore.le_slot
              e.Dualcore.le_total

@@ -20,9 +20,11 @@ val render_windows : Core.window_record list -> string
 
 val render_taint_log :
   ?every:int -> Dualcore.log_entry list -> string
-(** The taint log: per-slot totals and per-module counts; [every] samples
-    one entry in [every] (default 1; values [<= 0] are clamped to 1, i.e.
-    every entry is rendered). *)
+(** The taint log: per-slot totals and per-module counts; [every] renders
+    the entries whose slot number is a multiple of [every] (default 1;
+    values [<= 0] are clamped to 1, i.e. every entry), plus always the
+    final entry.  Keying on the slot — not the list position — keeps
+    truncated or resumed logs aligned on the same slots. *)
 
 val render_result : Dualcore.result -> string
 (** Full dual-DUT run report: windows of both instances, timing, final

@@ -561,6 +561,135 @@ let prop_window_fits_budget =
       List.length completed.Packet.transient.Packet.insns
       = List.length tc.Packet.transient.Packet.insns)
 
+(* --- provenance explain (observability) ----------------------------------- *)
+
+module Explain = Dejavuzz.Explain
+module Provenance = Dvz_ift.Provenance
+
+(* Search for a testcase whose oracle verdict matches [attack], like the
+   campaign loop would. *)
+let leaking_tc kind attack =
+  let rec search entropy =
+    if entropy > 300 then Alcotest.failf "no leaking %s testcase found" attack
+    else begin
+      let rng = Rng.create entropy in
+      let seed = Seed.random_of_kind rng kind in
+      let tc = Trigger_gen.generate ~force_training:true boom seed in
+      if Trigger_opt.evaluate boom tc then begin
+        let tc = Window_gen.complete boom tc in
+        let a = Oracle.analyze boom ~secret tc in
+        let matches =
+          match (attack, a.Oracle.a_attack) with
+          | "meltdown", Some `Meltdown -> Oracle.is_leak a
+          | "spectre", Some `Spectre -> Oracle.is_leak a
+          | _ -> false
+        in
+        if matches then tc else search (entropy + 1)
+      end
+      else search (entropy + 1)
+    end
+  in
+  search 1
+
+let secret_source = function
+  | Some s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "source %s is a secret word" s)
+        true
+        (String.length s > 4 && String.sub s 0 4 = "mem[")
+  | None -> Alcotest.fail "no source attributed"
+
+let check_explain attack kind =
+  let tc = leaking_tc kind attack in
+  let stim = Packet.stimulus ~secret tc in
+  let x = Explain.explain ~attack boom stim in
+  secret_source (Explain.source x);
+  Alcotest.(check bool) "at least one slice" true (x.Explain.x_slices <> []);
+  List.iter
+    (fun sl ->
+      match (sl.Explain.sl_edges, List.rev sl.Explain.sl_edges) with
+      | first :: _, last :: _ ->
+          Alcotest.(check string) "slice ends at its sink"
+            sl.Explain.sl_sink last.Provenance.e_dst;
+          Alcotest.(check bool) "slice starts at an origin" true
+            (first.Provenance.e_srcs = [])
+      | _ -> Alcotest.failf "empty slice for %s" sl.Explain.sl_sink)
+    x.Explain.x_slices;
+  (* replaying the same stimulus must reproduce the renders byte for byte *)
+  let x2 = Explain.explain ~attack boom stim in
+  Alcotest.(check string) "text render deterministic"
+    (Explain.render_text x) (Explain.render_text x2);
+  Alcotest.(check string) "dot render deterministic"
+    (Explain.render_dot x) (Explain.render_dot x2)
+
+let test_explain_meltdown () = check_explain "meltdown" Seed.T_page_fault
+let test_explain_spectre () = check_explain "spectre" Seed.T_branch
+
+let test_explain_artifact_roundtrip () =
+  let tc = leaking_tc Seed.T_page_fault "meltdown" in
+  let x = Explain.explain ~attack:"meltdown" boom (Packet.stimulus ~secret tc) in
+  match Explain.replay_artifact (Explain.to_json x) with
+  | Error e -> Alcotest.fail e
+  | Ok x' ->
+      Alcotest.(check string) "artifact replay reproduces the explanation"
+        (Explain.render_text x) (Explain.render_text x');
+      Alcotest.(check (option string)) "same source" (Explain.source x)
+        (Explain.source x')
+
+let test_explain_rejects_bad_artifact () =
+  let j = Dvz_obs.Json.Obj [ ("schema", Dvz_obs.Json.Str "nope") ] in
+  Alcotest.(check bool) "schema mismatch rejected" true
+    (match Explain.replay_artifact j with Error _ -> true | Ok _ -> false)
+
+let test_campaign_explain_dir () =
+  let dir = Filename.temp_file "dvz_explain" "" in
+  Sys.remove dir;
+  let tel = { Campaign.quiet with Campaign.t_explain_dir = Some dir } in
+  let options = { Campaign.default_options with Campaign.iterations = 12 } in
+  let stats = Campaign.run ~telemetry:tel boom options in
+  Alcotest.(check bool) "found something" true (stats.Campaign.s_findings <> []);
+  List.iter
+    (fun f -> secret_source f.Campaign.fd_source)
+    stats.Campaign.s_findings;
+  let artifacts =
+    List.filter
+      (fun f ->
+        Filename.check_suffix f ".json"
+        && String.length f >= 8 && String.sub f 0 8 = "finding-")
+      (Array.to_list (Sys.readdir dir))
+  in
+  Alcotest.(check bool) "artifacts written" true (artifacts <> []);
+  (* every artifact replays, and its source matches a recorded finding *)
+  let sources =
+    List.filter_map (fun f -> f.Campaign.fd_source) stats.Campaign.s_findings
+  in
+  List.iter
+    (fun a ->
+      let text =
+        In_channel.with_open_text (Filename.concat dir a) In_channel.input_all
+      in
+      match Dvz_obs.Json.of_string text with
+      | Error e -> Alcotest.fail e
+      | Ok j -> (
+          match Explain.replay_artifact j with
+          | Error e -> Alcotest.fail e
+          | Ok x ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s source matches a finding" a)
+                true
+                (match Explain.source x with
+                | Some s -> List.mem s sources
+                | None -> false)))
+    artifacts;
+  (* telemetry must stay neutral: same run without explain dir, same stats *)
+  let plain = Campaign.run boom options in
+  Alcotest.(check bool) "explain replay does not perturb fuzzing" true
+    (plain.Campaign.s_coverage_curve = stats.Campaign.s_coverage_curve
+    && List.map (fun f -> f.Campaign.fd_iteration) plain.Campaign.s_findings
+       = List.map (fun f -> f.Campaign.fd_iteration) stats.Campaign.s_findings);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
 (* properties *)
 
 let prop_generate_never_raises =
@@ -654,4 +783,13 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
           Alcotest.test_case "dedup" `Quick test_campaign_dedup;
           Alcotest.test_case "report" `Quick test_report_rendering;
-          Alcotest.test_case "window groups" `Quick test_window_group ] ) ]
+          Alcotest.test_case "window groups" `Quick test_window_group ] );
+      ( "explain",
+        [ Alcotest.test_case "meltdown slice" `Quick test_explain_meltdown;
+          Alcotest.test_case "spectre slice" `Quick test_explain_spectre;
+          Alcotest.test_case "artifact roundtrip" `Quick
+            test_explain_artifact_roundtrip;
+          Alcotest.test_case "bad artifact rejected" `Quick
+            test_explain_rejects_bad_artifact;
+          Alcotest.test_case "campaign explain dir" `Quick
+            test_campaign_explain_dir ] ) ]

@@ -7,6 +7,7 @@ module Policy = Dvz_ift.Policy
 module Shadow = Dvz_ift.Shadow
 module Liveness = Dvz_ift.Liveness
 module Taintlog = Dvz_ift.Taintlog
+module Provenance = Dvz_ift.Provenance
 
 (* --- policy unit tests --------------------------------------------------- *)
 
@@ -301,6 +302,201 @@ let test_taintlog () =
   | Some e -> Alcotest.(check int) "final tainted regs" 1 e.Taintlog.tainted_regs
   | None -> Alcotest.fail "expected final entry")
 
+(* --- provenance ----------------------------------------------------------- *)
+
+let test_provenance_record_and_slice () =
+  let p = Provenance.create () in
+  Provenance.set_context p ~time:(-1) ~in_window:false;
+  Provenance.source p "mem[2560]";
+  Provenance.set_context p ~time:5 ~in_window:true;
+  Provenance.record p ~dst:"prf[3]" ~srcs:[ "mem[2560]" ] Provenance.Data;
+  Provenance.record p ~dst:"dcache[7]" ~srcs:[ "prf[3]" ]
+    (Provenance.Ctrl "addr");
+  Alcotest.(check int) "edges" 3 (Provenance.num_edges p);
+  let slice = Provenance.slice p ~sink:"dcache[7]" in
+  Alcotest.(check (list string)) "slice chronological"
+    [ "mem[2560]"; "prf[3]"; "dcache[7]" ]
+    (List.map (fun e -> e.Provenance.e_dst) slice);
+  Alcotest.(check bool) "window flags" true
+    (match slice with
+    | [ a; b; c ] ->
+        (not a.Provenance.e_in_window)
+        && b.Provenance.e_in_window && c.Provenance.e_in_window
+    | _ -> false);
+  Alcotest.(check (list string)) "unknown sink empty" []
+    (List.map (fun e -> e.Provenance.e_dst)
+       (Provenance.slice p ~sink:"nowhere"))
+
+let test_provenance_epoch_selection () =
+  (* A node tainted, cleared and re-tainted has two introduction edges; a
+     slice through it must pick the one strictly before the consuming
+     edge, not the global latest. *)
+  let p = Provenance.create () in
+  Provenance.source p "x";                                    (* e0 *)
+  Provenance.record p ~dst:"y" ~srcs:[ "x" ] Provenance.Data; (* e1 *)
+  Provenance.source p "x";                                    (* e2 *)
+  Provenance.record p ~dst:"z" ~srcs:[ "x" ] Provenance.Data; (* e3 *)
+  let ids sink =
+    List.map (fun e -> e.Provenance.e_id) (Provenance.slice p ~sink)
+  in
+  Alcotest.(check (list int)) "y uses first epoch" [ 0; 1 ] (ids "y");
+  Alcotest.(check (list int)) "z uses second epoch" [ 2; 3 ] (ids "z")
+
+let test_provenance_restore_terminates () =
+  (* Restore edges are self-referential (the node re-introduces its own
+     pre-squash taint); the slice must not loop on them. *)
+  let p = Provenance.create () in
+  Provenance.source p "a";
+  Provenance.record p ~dst:"a" ~srcs:[ "a" ] Provenance.Restore;
+  let slice = Provenance.slice p ~sink:"a" in
+  Alcotest.(check (list int)) "both epochs, no loop" [ 0; 1 ]
+    (List.map (fun e -> e.Provenance.e_id) slice)
+
+let test_provenance_cap () =
+  let p = Provenance.create ~cap:2 () in
+  Provenance.source p "a";
+  Provenance.source p "b";
+  Provenance.source p "c";
+  Alcotest.(check int) "capped" 2 (Provenance.num_edges p);
+  Alcotest.(check int) "dropped counted" 1 (Provenance.dropped p);
+  Alcotest.check_raises "cap must be positive"
+    (Invalid_argument "Provenance.create: cap must be positive") (fun () ->
+      ignore (Provenance.create ~cap:0 ()))
+
+let test_provenance_kind_names () =
+  let kinds =
+    [ Provenance.Source; Provenance.Data; Provenance.Ctrl "addr";
+      Provenance.Divergence; Provenance.Restore; Provenance.Cell "Mux" ]
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Provenance.kind_name k)
+        true
+        (Provenance.kind_of_name (Provenance.kind_name k) = Some k))
+    kinds;
+  Alcotest.(check bool) "unknown name" true
+    (Provenance.kind_of_name "bogus" = None)
+
+(* Arming a shadow must not change what gets tainted, only record how. *)
+let test_shadow_armed_matches_disarmed () =
+  let build () =
+    let nl = N.create () in
+    N.scoped nl "u" (fun () ->
+        let sec = N.input nl ~name:"sec" 8 in
+        let pub = N.input nl ~name:"pub" 8 in
+        let x = N.xor_ nl sec pub in
+        let q = N.reg nl ~name:"q" 8 in
+        N.reg_connect nl q ~d:x ();
+        (nl, sec, pub, q))
+  in
+  let nl_a, sec_a, pub_a, q_a = build () in
+  let nl_b, sec_b, pub_b, q_b = build () in
+  let p = Provenance.create () in
+  let armed = Shadow.create ~provenance:p Policy.Diffift nl_a in
+  let plain = Shadow.create Policy.Diffift nl_b in
+  let drive sh sec pub =
+    Shadow.set_input_pair sh sec 0xAB 0x54;
+    Shadow.set_input sh pub 0x0F;
+    Shadow.cycle sh;
+    Shadow.eval sh
+  in
+  drive armed sec_a pub_a;
+  drive plain sec_b pub_b;
+  Alcotest.(check int) "taint planes agree" (Shadow.taint_bit_sum plain)
+    (Shadow.taint_bit_sum armed);
+  Alcotest.(check int) "values agree" (Shadow.peek_a plain q_b)
+    (Shadow.peek_a armed q_a);
+  let slice = Provenance.slice p ~sink:"u.q" in
+  Alcotest.(check bool) "slice reaches the secret input" true
+    (List.exists
+       (fun e -> e.Provenance.e_kind = Provenance.Source
+                 && e.Provenance.e_dst = "u.sec")
+       slice);
+  Alcotest.(check bool) "register intro is a cell edge" true
+    (match List.rev slice with
+    | last :: _ -> last.Provenance.e_dst = "u.q"
+    | [] -> false)
+
+let test_shadow_armed_mem_source () =
+  let nl = N.create () in
+  let m = N.mem nl ~name:"m" ~width:8 ~depth:8 () in
+  let addr = N.input nl ~name:"addr" 3 in
+  ignore (N.mem_read nl m addr);
+  let p = Provenance.create () in
+  let sh = Shadow.create ~provenance:p Policy.Diffift nl in
+  Shadow.poke_mem_pair sh m 5 0xAA 0x55;
+  Shadow.set_input sh addr 5;
+  Shadow.eval sh;
+  let label = Printf.sprintf "%s[5]" (N.mem_name m) in
+  Alcotest.(check bool) "poke recorded as source" true
+    (List.exists
+       (fun e -> e.Provenance.e_kind = Provenance.Source
+                 && e.Provenance.e_dst = label)
+       (Provenance.edges p))
+
+(* Disarmed, the provenance option must cost nothing: same engine, same
+   outputs, no allocation in steady state (the armed path is interpretive
+   and allocates; the fuzz loop never arms). *)
+let test_disarmed_cycle_unchanged_and_allocation_free () =
+  let rob = Circuits.rob ~entries:8 ~uopc_width:7 in
+  let sh = Shadow.create Policy.Diffift rob.Circuits.rob_nl in
+  Shadow.set_input sh rob.Circuits.enq_valid 1;
+  Shadow.set_input_pair sh rob.Circuits.enq_uopc 0x11 0x22;
+  Shadow.set_input sh rob.Circuits.rollback 0;
+  Shadow.set_input sh rob.Circuits.rollback_idx 0;
+  for _ = 1 to 100 do Shadow.cycle sh done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do Shadow.cycle sh done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "disarmed cycles allocated %.0f minor words" delta)
+    true (delta < 64.0);
+  Alcotest.(check int) "ticks counted" 1100 (Shadow.ticks sh)
+
+(* --- taint log bounds ------------------------------------------------------ *)
+
+let bound_cycles bound n =
+  let nl = N.create () in
+  let d = N.input nl 4 in
+  let q = N.reg nl 4 in
+  N.reg_connect nl q ~d ();
+  let sh = Shadow.create Policy.Diffift nl in
+  let log = Taintlog.create ~bound () in
+  for _ = 1 to n do
+    Shadow.set_input_pair sh d 1 2;
+    Shadow.cycle sh;
+    Taintlog.record log sh
+  done;
+  log
+
+let cycles_of log = List.map (fun e -> e.Taintlog.cycle) (Taintlog.entries log)
+
+let test_taintlog_keep_first () =
+  let log = bound_cycles (Taintlog.Keep_first 2) 5 in
+  Alcotest.(check (list int)) "first two" [ 0; 1 ] (cycles_of log);
+  Alcotest.(check int) "length counts all" 5 (Taintlog.length log)
+
+let test_taintlog_keep_last () =
+  let log = bound_cycles (Taintlog.Keep_last 2) 5 in
+  Alcotest.(check (list int)) "last two" [ 3; 4 ] (cycles_of log);
+  Alcotest.(check int) "length counts all" 5 (Taintlog.length log);
+  Alcotest.(check int) "totals trimmed too" 2
+    (List.length (Taintlog.totals log));
+  (match Taintlog.final log with
+  | Some e -> Alcotest.(check int) "final is newest" 4 e.Taintlog.cycle
+  | None -> Alcotest.fail "expected final entry")
+
+let test_taintlog_stride () =
+  let log = bound_cycles (Taintlog.Stride 2) 5 in
+  Alcotest.(check (list int)) "every other cycle" [ 0; 2; 4 ] (cycles_of log);
+  Alcotest.(check int) "max_total over retained" 4 (Taintlog.max_total log)
+
+let test_taintlog_bound_validation () =
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Taintlog.create: bound must be positive") (fun () ->
+      ignore (Taintlog.create ~bound:(Taintlog.Keep_last 0) ()))
+
 (* --- compiled vs interpretive engine -------------------------------------- *)
 
 (* The compiled shadow engine must be bit-identical to the interpreter in
@@ -507,4 +703,25 @@ let () =
       ( "liveness",
         [ Alcotest.test_case "lfb decoy" `Quick test_liveness_lfb;
           Alcotest.test_case "arity check" `Quick test_liveness_arity_check ] );
-      ( "taintlog", [ Alcotest.test_case "record" `Quick test_taintlog ] ) ]
+      ( "taintlog",
+        [ Alcotest.test_case "record" `Quick test_taintlog;
+          Alcotest.test_case "keep-first bound" `Quick test_taintlog_keep_first;
+          Alcotest.test_case "keep-last bound" `Quick test_taintlog_keep_last;
+          Alcotest.test_case "stride bound" `Quick test_taintlog_stride;
+          Alcotest.test_case "bound validation" `Quick
+            test_taintlog_bound_validation ] );
+      ( "provenance",
+        [ Alcotest.test_case "record and slice" `Quick
+            test_provenance_record_and_slice;
+          Alcotest.test_case "epoch selection" `Quick
+            test_provenance_epoch_selection;
+          Alcotest.test_case "restore terminates" `Quick
+            test_provenance_restore_terminates;
+          Alcotest.test_case "capacity" `Quick test_provenance_cap;
+          Alcotest.test_case "kind names" `Quick test_provenance_kind_names;
+          Alcotest.test_case "armed matches disarmed" `Quick
+            test_shadow_armed_matches_disarmed;
+          Alcotest.test_case "memory poke source" `Quick
+            test_shadow_armed_mem_source;
+          Alcotest.test_case "disarmed zero overhead" `Quick
+            test_disarmed_cycle_unchanged_and_allocation_free ] ) ]

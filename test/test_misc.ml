@@ -76,7 +76,8 @@ let test_table5_render_content () =
   let finding =
     { Dejavuzz.Campaign.fd_attack = `Meltdown;
       fd_window = Dejavuzz.Seed.T_page_fault;
-      fd_components = [ "dcache" ]; fd_kind = `Encode; fd_iteration = 7 }
+      fd_components = [ "dcache" ]; fd_kind = `Encode; fd_iteration = 7;
+      fd_source = None }
   in
   let t = Dejavuzz.Report.table5 ~core_name:"X" [ finding ] in
   Alcotest.(check bool) "attack row" true (contains t "Meltdown");

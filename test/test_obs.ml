@@ -165,6 +165,207 @@ let test_json_exporter_parses () =
            Json.to_int)
   | Error e -> Alcotest.fail e
 
+let test_prometheus_collision_disambiguated () =
+  (* "a.b" and "a:b" sanitize to the same series name; the exposition must
+     keep them distinct, deterministically. *)
+  let render () =
+    let r = Metrics.create () in
+    Metrics.incr (Metrics.counter r "a.b");
+    Metrics.incr ~by:2 (Metrics.counter r "a_b");
+    Metrics.set (Metrics.gauge r "a b") 3.0;
+    Exporters.prometheus r
+  in
+  let text = render () in
+  Alcotest.(check string) "deterministic" text (render ());
+  let series =
+    List.filter_map
+      (fun line ->
+        if line = "" || line.[0] = '#' then None
+        else
+          match String.index_opt line ' ' with
+          | Some i -> Some (String.sub line 0 i)
+          | None -> None)
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check int) "three distinct series" 3
+    (List.length (List.sort_uniq compare series));
+  Alcotest.(check bool) "dup suffix used" true
+    (List.exists (fun s -> contains s "_dup") series)
+
+let test_snapshot_json_duplicate_keys () =
+  let snap =
+    { Metrics.sn_counters = [ ("k", "", 1); ("k", "", 2) ];
+      sn_gauges = [];
+      sn_histograms = [] }
+  in
+  match Exporters.snapshot_json snap with
+  | Json.Obj fields -> (
+      match List.assoc "counters" fields with
+      | Json.Obj cs ->
+          Alcotest.(check (list string)) "second key suffixed" [ "k"; "k_dup2" ]
+            (List.map fst cs)
+      | _ -> Alcotest.fail "counters not an object")
+  | _ -> Alcotest.fail "snapshot not an object"
+
+(* A registry with adversarial names/values always renders a well-formed
+   Prometheus exposition: every sample line is NAME[{le="..."}] VALUE with
+   a charset-clean name, HELP text is newline-free, histogram buckets are
+   cumulative (monotone), and the +Inf bucket equals the _count sample. *)
+let prop_prometheus_well_formed =
+  let name_pool =
+    [| "a.b"; "a:b"; "1st"; "sp ace"; "ok_name"; "läks"; "x-y"; "_u" |]
+  in
+  QCheck.Test.make ~name:"prometheus exposition is well-formed" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Dvz_util.Rng.create (seed + 1) in
+      let r = Metrics.create () in
+      let pick () = name_pool.(Dvz_util.Rng.int rng (Array.length name_pool)) in
+      for _ = 1 to 1 + Dvz_util.Rng.int rng 4 do
+        Metrics.incr ~by:(Dvz_util.Rng.int rng 100)
+          (Metrics.counter r ~help:"multi\nline \\help" (pick ()))
+      done;
+      for _ = 1 to Dvz_util.Rng.int rng 3 do
+        (* distinct suffix per kind: a name may not be re-registered as
+           another metric kind *)
+        Metrics.set
+          (Metrics.gauge r (pick () ^ "!g"))
+          (float (Dvz_util.Rng.int rng 50))
+      done;
+      for _ = 1 to 1 + Dvz_util.Rng.int rng 3 do
+        let h = Metrics.histogram r (pick () ^ "_h") in
+        for _ = 1 to Dvz_util.Rng.int rng 20 do
+          Metrics.observe h (float (1 + Dvz_util.Rng.int rng 1000) /. 10.)
+        done
+      done;
+      let text = Exporters.prometheus r in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+      in
+      let name_ok n =
+        n <> ""
+        && (not ('0' <= n.[0] && n.[0] <= '9'))
+        && String.for_all
+             (fun c ->
+               ('a' <= c && c <= 'z')
+               || ('A' <= c && c <= 'Z')
+               || ('0' <= c && c <= '9')
+               || c = '_' || c = ':')
+             n
+      in
+      (* collect histogram series: name -> (le, count) list in order *)
+      let buckets = Hashtbl.create 8 and counts = Hashtbl.create 8 in
+      let sample_ok line =
+        match String.index_opt line ' ' with
+        | None -> false
+        | Some i -> (
+            let series = String.sub line 0 i in
+            match String.index_opt series '{' with
+            | None ->
+                (if Filename.check_suffix series "_count" then
+                   let base =
+                     String.sub series 0 (String.length series - 6)
+                   in
+                   Hashtbl.replace counts base
+                     (int_of_string
+                        (String.sub line (i + 1)
+                           (String.length line - i - 1))));
+                name_ok series
+            | Some b ->
+                let base = String.sub series 0 b in
+                (if Filename.check_suffix base "_bucket" then
+                   let bname = String.sub base 0 (String.length base - 7) in
+                   let le =
+                     (* {le="..."} *)
+                     let inner =
+                       String.sub series (b + 5)
+                         (String.length series - b - 7)
+                     in
+                     inner
+                   in
+                   let v =
+                     int_of_string
+                       (String.sub line (i + 1) (String.length line - i - 1))
+                   in
+                   Hashtbl.replace buckets bname
+                     ((le, v)
+                     :: (try Hashtbl.find buckets bname
+                         with Not_found -> [])));
+                name_ok base)
+      in
+      let all_lines_ok =
+        List.for_all
+          (fun line ->
+            if String.length line >= 1 && line.[0] = '#' then
+              (* comment lines are single-line by construction; raw
+                 newlines in help would have split them *)
+              String.length line > 2
+            else sample_ok line)
+          lines
+      in
+      let histograms_ok =
+        Hashtbl.fold
+          (fun bname rev_bs ok ->
+            let bs = List.rev rev_bs in
+            let monotone =
+              let rec go = function
+                | (_, a) :: ((_, b) :: _ as rest) -> a <= b && go rest
+                | _ -> true
+              in
+              go bs
+            in
+            let inf_matches =
+              match List.rev bs with
+              | ("+Inf", v) :: _ -> (
+                  match Hashtbl.find_opt counts bname with
+                  | Some c -> v = c
+                  | None -> false)
+              | _ -> false
+            in
+            ok && monotone && inf_matches)
+          buckets true
+      in
+      all_lines_ok && histograms_ok)
+
+(* The JSON exporter's output must parse back with our own parser and
+   preserve every value. *)
+let prop_json_exporter_roundtrip =
+  QCheck.Test.make ~name:"json exporter round-trips" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Dvz_util.Rng.create (seed + 7) in
+      let r = Metrics.create () in
+      let counters =
+        List.init
+          (1 + Dvz_util.Rng.int rng 4)
+          (fun i ->
+            let n = Printf.sprintf "c%d" i in
+            let v = Dvz_util.Rng.int rng 1000 in
+            Metrics.incr ~by:v (Metrics.counter r n);
+            (n, v))
+      in
+      let h = Metrics.histogram r "h" in
+      let obs = 1 + Dvz_util.Rng.int rng 20 in
+      for _ = 1 to obs do
+        Metrics.observe h (float (Dvz_util.Rng.int rng 100))
+      done;
+      match Json.of_string (Exporters.render_json r) with
+      | Error _ -> false
+      | Ok j ->
+          let counter_ok (n, v) =
+            Option.bind
+              (Option.bind (Json.member "counters" j) (Json.member n))
+              Json.to_int
+            = Some v
+          in
+          let count_ok =
+            Option.bind
+              (Option.bind
+                 (Option.bind (Json.member "histograms" j) (Json.member "h"))
+                 (Json.member "count"))
+              Json.to_int
+            = Some obs
+          in
+          List.for_all counter_ok counters && count_ok)
+
 (* --- campaign telemetry --------------------------------------------------- *)
 
 let buffer_telemetry ?(progress_every = 0) () =
@@ -174,7 +375,8 @@ let buffer_telemetry ?(progress_every = 0) () =
     { Campaign.t_events = Events.to_buffer buf;
       t_metrics = Metrics.create ~clock:(Clock.fake ~step:0.001 ()) ();
       t_progress_every = progress_every;
-      t_progress = (fun l -> lines := l :: !lines) }
+      t_progress = (fun l -> lines := l :: !lines);
+      t_explain_dir = None }
   in
   (tel, buf, lines)
 
@@ -285,6 +487,21 @@ let test_taint_log_every_clamped () =
   Alcotest.(check string) "negative clamps to 1" all
     (Dvz_uarch.Trace.render_taint_log ~every:(-3) log)
 
+let test_taint_log_sampled_by_slot () =
+  (* A bounded Dualcore log holds sparse slot numbers; sampling must key
+     on the slot, not the list position, and always keep the final entry. *)
+  let mk slot =
+    { Dvz_uarch.Dualcore.le_slot = slot; le_total = slot;
+      le_per_module = []; le_in_window = false }
+  in
+  let log = List.map mk [ 0; 3; 10; 11 ] in
+  let out = Dvz_uarch.Trace.render_taint_log ~every:5 log in
+  Alcotest.(check bool) "slot 0 kept" true (contains out "slot 0 ");
+  Alcotest.(check bool) "slot 3 skipped" false (contains out "slot 3 ");
+  Alcotest.(check bool) "slot 10 kept" true (contains out "slot 10");
+  Alcotest.(check bool) "final slot 11 always kept" true
+    (contains out "slot 11")
+
 (* --- parallel map counters ------------------------------------------------ *)
 
 let test_parallel_task_counters () =
@@ -320,7 +537,13 @@ let () =
           Alcotest.test_case "prometheus cumulative buckets" `Quick
             test_prometheus_histogram_cumulative;
           Alcotest.test_case "json snapshot parses" `Quick
-            test_json_exporter_parses ] );
+            test_json_exporter_parses;
+          Alcotest.test_case "collision disambiguation" `Quick
+            test_prometheus_collision_disambiguated;
+          Alcotest.test_case "duplicate snapshot keys" `Quick
+            test_snapshot_json_duplicate_keys;
+          QCheck_alcotest.to_alcotest prop_prometheus_well_formed;
+          QCheck_alcotest.to_alcotest prop_json_exporter_roundtrip ] );
       ( "campaign",
         [ Alcotest.test_case "jsonl golden, 3 iterations" `Quick
             test_jsonl_golden_3_iterations;
@@ -334,6 +557,8 @@ let () =
           Alcotest.test_case "errors" `Quick test_replay_errors ] );
       ( "trace",
         [ Alcotest.test_case "taint log every clamp" `Quick
-            test_taint_log_every_clamped ] );
+            test_taint_log_every_clamped;
+          Alcotest.test_case "taint log sampled by slot" `Quick
+            test_taint_log_sampled_by_slot ] );
       ( "parallel",
         [ Alcotest.test_case "task counters" `Quick test_parallel_task_counters ] ) ]
