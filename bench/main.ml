@@ -178,6 +178,35 @@ module Simbench = struct
       [ ("table4/dualcore-diffift-e2e", Dvz_ift.Policy.Diffift);
         ("fig6/dualcore-cellift-e2e", Dvz_ift.Policy.Cellift) ]
 
+  (* Batched-campaign throughput: the same deterministic campaign run on 1
+     and 4 jobs.  Records the wall-clock scaling CI gates (only when the
+     machine actually has the cores — [domains_available] says so) plus a
+     determinism bit re-checking that jobs never change results. *)
+  let campaign_report () =
+    let module C = Dejavuzz.Campaign in
+    let boom = Cfg.boom_small in
+    let options =
+      { C.default_options with C.iterations = 64; rng_seed = 11; batch = 8 }
+    in
+    let run jobs () = ignore (C.run ~jobs boom options) in
+    let measure jobs =
+      run jobs ();
+      (* warmed; campaigns are long, so blocks of one run suffice *)
+      min_of_blocks ~blocks:3 ~per_block:1 (run jobs)
+    in
+    let jobs1_ns = measure 1 in
+    let jobs4_ns = measure 4 in
+    let deterministic = C.run ~jobs:1 boom options = C.run ~jobs:4 boom options in
+    Dvz_obs.Json.Obj
+      [ ("name", Dvz_obs.Json.Str "campaign/batch-throughput");
+        ("iterations", Dvz_obs.Json.Int options.C.iterations);
+        ("batch", Dvz_obs.Json.Int options.C.batch);
+        ("jobs1_ns", Dvz_obs.Json.Float jobs1_ns);
+        ("jobs4_ns", Dvz_obs.Json.Float jobs4_ns);
+        ("scaling", Dvz_obs.Json.Float (jobs1_ns /. Float.max 1.0 jobs4_ns));
+        ("domains_available", Dvz_obs.Json.Int (Dvz_util.Parallel.available ()));
+        ("deterministic", Dvz_obs.Json.Bool deterministic) ]
+
   let json_report () =
     let ws = workloads () in
     let measured = List.map (fun w -> (w, measure_ns w)) ws in
@@ -213,10 +242,11 @@ module Simbench = struct
           "ir/sim-cycle" ]
     in
     Dvz_obs.Json.Obj
-      [ ("schema", Dvz_obs.Json.Str "dvz-bench-sim/2");
+      [ ("schema", Dvz_obs.Json.Str "dvz-bench-sim/3");
         ("benches", Dvz_obs.Json.Arr bench_objs);
         ("speedups", Dvz_obs.Json.Arr speedups);
-        ("e2e", Dvz_obs.Json.Arr (e2e_report ())) ]
+        ("e2e", Dvz_obs.Json.Arr (e2e_report ()));
+        ("campaign", Dvz_obs.Json.Arr [ campaign_report () ]) ]
 
   let write_json path =
     let json = json_report () in
@@ -241,6 +271,27 @@ module Simbench = struct
                     | _ -> ())
                 | _ -> ())
               sps
+        | _ -> ());
+        (match List.assoc_opt "campaign" fields with
+        | Some (Dvz_obs.Json.Arr cs) ->
+            List.iter
+              (fun c ->
+                match c with
+                | Dvz_obs.Json.Obj f -> (
+                    match
+                      ( List.assoc_opt "name" f,
+                        List.assoc_opt "scaling" f,
+                        List.assoc_opt "domains_available" f )
+                    with
+                    | ( Some (Dvz_obs.Json.Str n),
+                        Some (Dvz_obs.Json.Float s),
+                        Some (Dvz_obs.Json.Int d) ) ->
+                        Printf.printf
+                          "%-32s %.2fx scaling at 4 jobs (%d domains available)\n"
+                          n s d
+                    | _ -> ())
+                | _ -> ())
+              cs
         | _ -> ())
     | _ -> ());
     Printf.printf "wrote %s\n" path

@@ -179,6 +179,24 @@ let resilience_t =
   Term.(const build $ checkpoint_t $ checkpoint_every_t $ resume_t $ fault_t
         $ max_slots_t $ max_seconds_t $ crash_dir_t)
 
+(* --- campaign engine parallelism ------------------------------------------ *)
+
+let jobs_t =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains executing each campaign batch (the \
+                 orchestrator included).  An execution resource only: \
+                 findings, coverage, checkpoints and event streams are \
+                 byte-identical for any N.")
+
+let batch_t =
+  Arg.(value & opt int 1
+       & info [ "batch" ] ~docv:"K"
+           ~doc:"Iterations scheduled per corpus snapshot; all K can run \
+                 in parallel under --jobs.  Part of the campaign's \
+                 deterministic semantics (K > 1 delays corpus feedback \
+                 by up to K-1 iterations), unlike --jobs.")
+
 (* Injected kills model the harness process dying: distinct exit code so
    scripts (and CI) can tell "killed, resume me" from real errors. *)
 let handle_faults k =
@@ -194,17 +212,18 @@ let handle_faults k =
 
 let fuzz_cmd =
   let run cfg iterations rng_seed random_training no_coverage telemetry_file
-      progress progress_every metrics resilience explain_dir =
+      progress progress_every metrics resilience explain_dir jobs batch =
     handle_faults (fun () ->
         let options =
           { Campaign.default_options with
-            Campaign.iterations; rng_seed;
+            Campaign.iterations; rng_seed; batch;
             style = (if random_training then `Random else `Derived);
             coverage_guided = not no_coverage }
         in
         let stats =
           with_telemetry ?explain_dir telemetry_file progress progress_every
-            (fun telemetry -> Campaign.run ~telemetry ~resilience cfg options)
+            (fun telemetry ->
+              Campaign.run ~telemetry ~resilience ~jobs cfg options)
         in
         print_string (Dejavuzz.Report.summary stats);
         print_string
@@ -226,7 +245,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Run a DejaVuzz fuzzing campaign.")
     Term.(const run $ core_t $ iterations_t 500 $ seed_t $ random_training
           $ no_coverage $ telemetry_t $ progress_t $ progress_every_t
-          $ metrics_t $ resilience_t $ explain_dir_t)
+          $ metrics_t $ resilience_t $ explain_dir_t $ jobs_t $ batch_t)
 
 let table2_cmd =
   Cmd.v
@@ -263,12 +282,13 @@ let table4_cmd =
 
 let table5_cmd =
   let run iterations rng_seed telemetry_file progress progress_every
-      resilience =
+      resilience jobs batch =
     handle_faults (fun () ->
         let results =
           with_telemetry telemetry_file progress progress_every
             (fun telemetry ->
               E.Table5.run_many ~iterations ~rng_seed ~telemetry ~resilience
+                ~jobs ~batch
                 [ Cfg.boom_small; Cfg.xiangshan_minimal ])
         in
         print_string (E.Table5.render results))
@@ -276,7 +296,7 @@ let table5_cmd =
   Cmd.v
     (Cmd.info "table5" ~doc:"Discovered transient execution bug classes.")
     Term.(const run $ iterations_t 1200 $ seed_t $ telemetry_t $ progress_t
-          $ progress_every_t $ resilience_t)
+          $ progress_every_t $ resilience_t $ jobs_t $ batch_t)
 
 let fig6_cmd =
   Cmd.v
@@ -286,13 +306,13 @@ let fig6_cmd =
 
 let fig7_cmd =
   let run cfg iterations trials rng_seed telemetry_file progress
-      progress_every resilience =
+      progress_every resilience jobs batch =
     handle_faults (fun () ->
         let result =
           with_telemetry telemetry_file progress progress_every
             (fun telemetry ->
               E.Fig7.run ~iterations ~trials ~rng_seed ~telemetry ~resilience
-                cfg)
+                ~jobs ~batch cfg)
         in
         print_string (E.Fig7.render result))
   in
@@ -303,7 +323,8 @@ let fig7_cmd =
   Cmd.v
     (Cmd.info "fig7" ~doc:"Coverage growth: DejaVuzz vs DejaVuzz- vs SpecDoctor.")
     Term.(const run $ core_t $ iterations_t 1000 $ trials $ seed_t
-          $ telemetry_t $ progress_t $ progress_every_t $ resilience_t)
+          $ telemetry_t $ progress_t $ progress_every_t $ resilience_t
+          $ jobs_t $ batch_t)
 
 let attack_arg =
   let parse s =
@@ -391,15 +412,15 @@ let migrate_cmd =
     Term.(const run $ core_t $ seed_t)
 
 let ablation_cmd =
-  let run iterations rng_seed =
+  let run iterations rng_seed jobs batch =
     print_string
       (E.Ablation.render
-         (E.Ablation.run ~iterations ~rng_seed Cfg.boom_small))
+         (E.Ablation.run ~iterations ~rng_seed ~jobs ~batch Cfg.boom_small))
   in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Compare diffIFT against CellIFT as the fuzzing substrate.")
-    Term.(const run $ iterations_t 400 $ seed_t)
+    Term.(const run $ iterations_t 400 $ seed_t $ jobs_t $ batch_t)
 
 let bugs_cmd =
   Cmd.v

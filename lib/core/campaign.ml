@@ -27,12 +27,15 @@ type options = {
   rng_seed : int;
   fresh_seed_prob : float;
   taint_mode : Dvz_ift.Policy.mode;
+  corpus_cap : int;
+  batch : int;
 }
 
 let default_options =
   { iterations = 200; coverage_guided = true; style = `Derived;
     rng_seed = 1; fresh_seed_prob = 0.35;
-    taint_mode = Dvz_ift.Policy.Diffift }
+    taint_mode = Dvz_ift.Policy.Diffift;
+    corpus_cap = 64; batch = 1 }
 
 type telemetry = {
   t_events : Events.sink;
@@ -46,7 +49,7 @@ let quiet =
   { t_events = Events.null; t_metrics = Metrics.default;
     t_progress_every = 0; t_progress = ignore; t_explain_dir = None }
 
-type crash = {
+type crash = Executor.crash = {
   cr_iteration : int;
   cr_seed : Seed.t option;
   cr_exn : string;
@@ -83,19 +86,22 @@ let with_suffix rz suffix =
     rz_checkpoint = app rz.rz_checkpoint;
     rz_resume = app rz.rz_resume }
 
-(* Checkpoint payload: the campaign loop's entire mutable state, as plain
+(* Checkpoint payload: the orchestrator's entire fold state, as plain
    data, Marshal'd behind {!Snapshot}'s validated header.  Bump
    [checkpoint_version] whenever this layout (or anything reachable from
-   it: Seed.t, Packet.testcase, options, finding) changes shape. *)
+   it: Seed.t, Packet.testcase, Corpus.entry, options, finding) changes
+   shape. *)
 type checkpoint = {
   cp_core : string;
   cp_options : options;
   cp_next_iteration : int;
+  cp_batch_cursor : int;  (** batches completed; checkpoints land only
+                              on batch boundaries *)
   cp_rng_state : int64;
   cp_secret : int array;
   cp_coverage : (string * int) list;
   cp_curve : int array;
-  cp_corpus : Packet.testcase list;
+  cp_corpus : Corpus.entry list;
   cp_seen : string list;
   cp_findings : finding list;  (* reverse-chronological, as accumulated *)
   cp_n_findings : int;
@@ -107,7 +113,11 @@ type checkpoint = {
 }
 
 let checkpoint_magic = "dejavuzz-campaign"
-let checkpoint_version = 2 (* v2: finding gained fd_source *)
+
+let checkpoint_version = 3
+(* v2: finding gained fd_source
+   v3: options gained corpus_cap/batch, corpus stores Corpus.entry,
+       batch cursor added *)
 
 let save_checkpoint ~path (cp : checkpoint) =
   Snapshot.save ~path ~magic:checkpoint_magic ~version:checkpoint_version
@@ -209,7 +219,21 @@ let finding_event f =
     | None -> []
     | Some s -> [ ("source", Json.Str s) ]
 
-let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
+(* The orchestrator: snapshot the corpus, schedule a batch of plans off
+   the master RNG, execute them (sequentially or across domains — the
+   executors share no mutable state), then fold the outcomes back in
+   plan-index order.  Every observable side effect — coverage
+   accounting, corpus admission, finding dedup, events, checkpoints —
+   happens in the fold, on the orchestrator's domain, in iteration
+   order, which is why [jobs] changes wall-clock time and nothing
+   else. *)
+let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1) cfg
+    options =
+  if options.batch < 1 then
+    invalid_arg "Campaign.run: options.batch must be at least 1";
+  if options.corpus_cap < 1 then
+    invalid_arg "Campaign.run: options.corpus_cap must be at least 1";
+  if jobs < 1 then invalid_arg "Campaign.run: jobs must be at least 1";
   let tel = telemetry in
   let rz = resilience in
   let clk = Metrics.clock tel.t_metrics in
@@ -217,6 +241,11 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
   let m_iters =
     Metrics.counter tel.t_metrics ~help:"Campaign iterations executed"
       "dvz_campaign_iterations_total"
+  in
+  let m_batches =
+    Metrics.counter tel.t_metrics
+      ~help:"Campaign batches scheduled, executed and folded"
+      "dvz_campaign_batches_total"
   in
   let m_dedup =
     Metrics.counter tel.t_metrics
@@ -246,6 +275,12 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
       ~help:"Phase 3 (dual-DUT simulation + oracles) seconds"
       "dvz_phase3_seconds"
   in
+  let domain_iters =
+    Array.init jobs (fun i ->
+        Metrics.counter tel.t_metrics
+          ~help:"Campaign iterations executed by one worker domain (0 = orchestrator)"
+          (Printf.sprintf "dvz_campaign_iterations_domain_%d" i))
+  in
   let t_start = Clock.now clk in
   let resumed =
     match rz.rz_resume with
@@ -266,12 +301,24 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
                    "Campaign.run: checkpoint %s was written with different \
                     campaign options"
                    path);
+            (* Checkpoints land on batch boundaries; a cursor that
+               disagrees with the iteration count means the file was
+               written by a differently-batched (or corrupted) run. *)
+            if
+              cp.cp_batch_cursor
+              <> (cp.cp_next_iteration + options.batch - 1) / options.batch
+            then
+              invalid_arg
+                (Printf.sprintf
+                   "Campaign.run: checkpoint %s has batch cursor %d, \
+                    inconsistent with iteration %d at batch size %d"
+                   path cp.cp_batch_cursor cp.cp_next_iteration options.batch);
             Some cp)
     | _ -> None
   in
-  (* All loop state below either starts fresh or is restored verbatim from
-     the checkpoint; nothing else in the loop carries state across
-     iterations, which is what makes kill-and-resume bit-identical. *)
+  (* All fold state below either starts fresh or is restored verbatim
+     from the checkpoint; nothing else carries state across batches,
+     which is what makes kill-and-resume bit-identical. *)
   let rng, secret =
     match resumed with
     | None ->
@@ -294,7 +341,11 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
     | Some cp -> Coverage.of_list cp.cp_coverage
   in
   let curve = Array.make options.iterations 0 in
-  let corpus : Packet.testcase list ref = ref [] in
+  let corpus =
+    match resumed with
+    | None -> Corpus.create ~cap:options.corpus_cap
+    | Some cp -> Corpus.of_entries ~cap:options.corpus_cap cp.cp_corpus
+  in
   let seen = Hashtbl.create 32 in
   let sim_cycles = ref 0 in
   let findings = ref [] in
@@ -303,12 +354,14 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
   let triggered = ref 0 in
   let crashes = ref [] in
   let timeouts = ref 0 in
+  let batch_no =
+    ref (match resumed with None -> 0 | Some cp -> cp.cp_batch_cursor)
+  in
   (match resumed with
   | None -> ()
   | Some cp ->
       Array.blit cp.cp_curve 0 curve 0
         (min (Array.length cp.cp_curve) (Array.length curve));
-      corpus := cp.cp_corpus;
       List.iter (fun k -> Hashtbl.replace seen k ()) cp.cp_seen;
       sim_cycles := cp.cp_sim_cycles;
       findings := cp.cp_findings;
@@ -321,11 +374,12 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
     { cp_core = cfg.Dvz_uarch.Config.name;
       cp_options = options;
       cp_next_iteration = next_it;
+      cp_batch_cursor = !batch_no;
       cp_rng_state = Rng.state rng;
       cp_secret = Array.copy secret;
       cp_coverage = Coverage.to_list coverage;
       cp_curve = Array.copy curve;
-      cp_corpus = !corpus;
+      cp_corpus = Corpus.entries corpus;
       cp_seen = Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare;
       cp_findings = !findings;
       cp_n_findings = !n_findings;
@@ -358,90 +412,72 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
           (List.rev !findings)
     | _ -> ()
   end;
-  for it = start_it to options.iterations - 1 do
+  let ctx =
+    { Executor.cx_cfg = cfg;
+      cx_style = options.style;
+      cx_taint_mode = options.taint_mode;
+      cx_secret = secret;
+      cx_fault_plan = rz.rz_fault_plan;
+      cx_budget = rz.rz_budget;
+      cx_clock = clk;
+      cx_domain_iters = domain_iters }
+  in
+  (* Fold one outcome into the campaign state — the only place coverage,
+     corpus, findings and events are touched.  Called in plan-index
+     order regardless of which domain executed the plan. *)
+  let fold_outcome (oc : Executor.outcome) =
+    let it = oc.Executor.oc_iteration in
     Metrics.incr m_iters;
-    (* One [split] per iteration is the master generator's only draw: a
-       crashed or timed-out iteration consumes exactly as much of the
-       master stream as a clean one, so the surviving iterations of a
-       faulted campaign are bit-identical to the unfaulted run's. *)
-    let irng = Rng.split rng in
-    Fault.arm ~iteration:it rz.rz_fault_plan;
-    let iter_seed = ref None in
-    let seed_kind = ref None in
-    let p1 = ref 0.0 and p2 = ref 0.0 and p3 = ref 0.0 in
-    let phase1_triggered = ref false in
-    let coverage_delta = ref 0 and new_findings = ref 0 and cycles = ref 0 in
-    let status = ref `Ok in
-    let body () =
-      (* Phase 1 — seed selection: mutate a corpus entry's window, or
-         generate, evaluate and reduce a fresh trigger. *)
-      let t0 = Clock.now clk in
-      let phase1 =
-        if !corpus = [] || Rng.chance irng options.fresh_seed_prob then begin
-          let seed = Seed.random irng in
-          iter_seed := Some seed;
-          seed_kind := Some seed.Seed.kind;
-          let tc = Trigger_gen.generate ~style:options.style cfg seed in
-          if Trigger_opt.evaluate cfg tc then begin
-            let reduced, _ = Trigger_opt.reduce cfg tc in
-            Some reduced
-          end
-          else None
-        end
-        else begin
-          let tc = Rng.choose_list irng !corpus in
-          let seed = Seed.mutate_window irng tc.Packet.seed in
-          iter_seed := Some seed;
-          seed_kind := Some seed.Seed.kind;
-          Some { tc with Packet.seed = seed }
-        end
-      in
-      p1 := Clock.now clk -. t0;
-      Metrics.observe h_phase1 !p1;
-      match phase1 with
-      | None -> ()
-      | Some tc ->
-          phase1_triggered := true;
-          incr triggered;
-          (* Phase 2 — complete the transient window with encoding gadgets. *)
-          let t1 = Clock.now clk in
-          let completed = Window_gen.complete cfg tc in
-          p2 := Clock.now clk -. t1;
-          Metrics.observe h_phase2 !p2;
-          (* Phase 3 — dual-DUT simulation, coverage, oracles. *)
-          let t2 = Clock.now clk in
-          let analysis =
-            (* Keep_last 8192 never truncates a real run (stimuli cap at
-               3000 slots); it only bounds the logs of pathological or
-               hung simulations over a long campaign. *)
-            Oracle.analyze ~mode:options.taint_mode
-              ~log_bound:(Dvz_ift.Taintlog.Keep_last 8192)
-              ?budget:rz.rz_budget cfg ~secret completed
-          in
-          p3 := Clock.now clk -. t2;
-          Metrics.observe h_phase3 !p3;
-          cycles :=
-            analysis.Oracle.a_result.Dvz_uarch.Dualcore.r_cycles_a
-            + analysis.Oracle.a_result.Dvz_uarch.Dualcore.r_cycles_b;
-          sim_cycles := !sim_cycles + !cycles;
-          if analysis.Oracle.a_timed_out then begin
-            (* Watchdog verdict: the evidence is partial, so the run
-               contributes nothing to coverage, corpus or findings. *)
-            status := `Timeout;
-            incr timeouts;
+    if oc.Executor.oc_triggered then incr triggered;
+    sim_cycles := !sim_cycles + oc.Executor.oc_cycles;
+    if oc.Executor.oc_p1 > 0.0 then Metrics.observe h_phase1 oc.Executor.oc_p1;
+    if oc.Executor.oc_p2 > 0.0 then Metrics.observe h_phase2 oc.Executor.oc_p2;
+    if oc.Executor.oc_p3 > 0.0 then Metrics.observe h_phase3 oc.Executor.oc_p3;
+    let coverage_delta = ref 0 and new_findings = ref 0 in
+    (match oc.Executor.oc_status with
+    | `Timeout ->
+        (* Watchdog verdict: the evidence is partial, so the run
+           contributes nothing to coverage, corpus or findings. *)
+        incr timeouts;
+        if events_on then
+          Events.emit tel.t_events
+            [ ("type", Json.Str "watchdog_timeout");
+              ("iteration", Json.Int it);
+              ( "slots",
+                Json.Int
+                  (match oc.Executor.oc_analysis with
+                  | Some a -> a.Oracle.a_result.Dvz_uarch.Dualcore.r_slots
+                  | None -> 0) ) ]
+    | `Crashed -> (
+        match oc.Executor.oc_crash with
+        | None -> ()
+        | Some crash ->
+            crashes := crash :: !crashes;
+            Metrics.incr m_crashes;
+            (match rz.rz_crash_dir with
+            | Some dir ->
+                write_crash_artifact ~core:cfg.Dvz_uarch.Config.name ~options
+                  ~secret dir crash
+            | None -> ());
             if events_on then
               Events.emit tel.t_events
-                [ ("type", Json.Str "watchdog_timeout");
+                [ ("type", Json.Str "harness_crash");
                   ("iteration", Json.Int it);
-                  ( "slots",
-                    Json.Int analysis.Oracle.a_result.Dvz_uarch.Dualcore.r_slots
-                  ) ]
-          end
-          else begin
-            let fresh =
-              Coverage.observe_result coverage analysis.Oracle.a_result
-            in
-            coverage_delta := fresh;
+                  ( "seed",
+                    match crash.cr_seed with
+                    | None -> Json.Null
+                    | Some s -> Json.Str (Seed.to_string s) );
+                  ("exn", Json.Str crash.cr_exn);
+                  ("backtrace", Json.Str crash.cr_backtrace) ])
+    | `Ok -> (
+        (match oc.Executor.oc_coverage with
+        | Some shard -> coverage_delta := Coverage.merge coverage shard
+        | None -> ());
+        match
+          (oc.Executor.oc_testcase, oc.Executor.oc_completed,
+           oc.Executor.oc_analysis)
+        with
+        | Some tc, Some completed, Some analysis ->
             (* Corpus policy is where the DejaVuzz- ablation differs: the
                guided fuzzer accumulates every coverage-increasing seed and
                keeps mutating all of them; the blind variant only carries the
@@ -449,12 +485,11 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
                encoding block or regenerates a new transient window for each
                round"). *)
             if options.coverage_guided then begin
-              if fresh > 0 then corpus := tc :: !corpus;
-              if List.length !corpus > 64 then
-                corpus := List.filteri (fun i _ -> i < 64) !corpus
+              if !coverage_delta > 0 then
+                Corpus.admit corpus ~birth:it ~reward:!coverage_delta tc
             end
-            else corpus := [ tc ];
-            Metrics.set g_corpus (float_of_int (List.length !corpus));
+            else Corpus.replace_all corpus ~birth:it tc;
+            Metrics.set g_corpus (float_of_int (Corpus.size corpus));
             let fs = findings_of_analysis ~iteration:it tc.Packet.seed analysis in
             let fresh_exists =
               List.exists (fun f -> not (Hashtbl.mem seen (dedup_key f))) fs
@@ -510,42 +545,7 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
                 end
                 else Metrics.incr m_dedup)
               fs
-          end
-    in
-    (try body () with
-    | Fault.Killed _ as e ->
-        (* An injected kill models the whole process dying: clean up the
-           ambient fault state and let it rip through every layer. *)
-        let bt = Printexc.get_raw_backtrace () in
-        ignore (Fault.drain_fired ());
-        Fault.disarm ();
-        Printexc.raise_with_backtrace e bt
-    | e ->
-        let bt = Printexc.get_raw_backtrace () in
-        status := `Crashed;
-        let crash =
-          { cr_iteration = it;
-            cr_seed = !iter_seed;
-            cr_exn = Printexc.to_string e;
-            cr_backtrace = Printexc.raw_backtrace_to_string bt }
-        in
-        crashes := crash :: !crashes;
-        Metrics.incr m_crashes;
-        (match rz.rz_crash_dir with
-        | Some dir ->
-            write_crash_artifact ~core:cfg.Dvz_uarch.Config.name ~options
-              ~secret dir crash
-        | None -> ());
-        if events_on then
-          Events.emit tel.t_events
-            [ ("type", Json.Str "harness_crash");
-              ("iteration", Json.Int it);
-              ( "seed",
-                match !iter_seed with
-                | None -> Json.Null
-                | Some s -> Json.Str (Seed.to_string s) );
-              ("exn", Json.Str crash.cr_exn);
-              ("backtrace", Json.Str crash.cr_backtrace) ]);
+        | _ -> ()));
     List.iter
       (fun (f : Fault.fault) ->
         if events_on then
@@ -554,42 +554,30 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
               ("iteration", Json.Int it);
               ("cycle", Json.Int f.Fault.f_cycle);
               ("action", Json.Str (Fault.action_name f.Fault.f_action)) ])
-      (Fault.drain_fired ());
-    Fault.disarm ();
+      oc.Executor.oc_fired;
     curve.(it) <- Coverage.points coverage;
     if events_on then
       Events.emit tel.t_events
         [ ("type", Json.Str "iteration");
           ("iteration", Json.Int it);
           ( "seed_kind",
-            match !seed_kind with
+            match oc.Executor.oc_seed_kind with
             | None -> Json.Null
             | Some k -> Json.Str (Seed.kind_name k) );
-          ("phase1_triggered", Json.Bool !phase1_triggered);
+          ("phase1_triggered", Json.Bool oc.Executor.oc_triggered);
           ("coverage_delta", Json.Int !coverage_delta);
           ("coverage", Json.Int curve.(it));
           ("new_findings", Json.Int !new_findings);
-          ("cycles", Json.Int !cycles);
+          ("cycles", Json.Int oc.Executor.oc_cycles);
           ( "status",
             Json.Str
-              (match !status with
+              (match oc.Executor.oc_status with
               | `Ok -> "ok"
               | `Crashed -> "crashed"
               | `Timeout -> "timeout") );
-          ("phase1_s", Json.Float !p1);
-          ("phase2_s", Json.Float !p2);
-          ("phase3_s", Json.Float !p3) ];
-    (match rz.rz_checkpoint with
-    | Some path
-      when rz.rz_checkpoint_every > 0
-           && (it + 1) mod rz.rz_checkpoint_every = 0 ->
-        save_checkpoint ~path (make_checkpoint (it + 1));
-        if events_on then
-          Events.emit tel.t_events
-            [ ("type", Json.Str "checkpoint");
-              ("iteration", Json.Int (it + 1));
-              ("path", Json.Str path) ]
-    | _ -> ());
+          ("phase1_s", Json.Float oc.Executor.oc_p1);
+          ("phase2_s", Json.Float oc.Executor.oc_p2);
+          ("phase3_s", Json.Float oc.Executor.oc_p3) ];
     if tel.t_progress_every > 0 && (it + 1) mod tel.t_progress_every = 0
     then begin
       let elapsed = Float.max 1e-9 (Clock.now clk -. t_start) in
@@ -600,6 +588,45 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) cfg options =
            "[%d/%d] coverage=%d findings=%d triggered=%d %.0f cycles/s"
            (it + 1) options.iterations curve.(it) !n_findings !triggered cps)
     end
+  in
+  let b = ref start_it in
+  while !b < options.iterations do
+    let count = min options.batch (options.iterations - !b) in
+    Metrics.incr m_batches;
+    Metrics.with_span tel.t_metrics "dvz_campaign_batch_seconds" (fun () ->
+        let snap = Corpus.snapshot corpus in
+        let plans =
+          Scheduler.schedule ~fresh_seed_prob:options.fresh_seed_prob
+            ~corpus:snap ~rng ~start:!b ~count
+        in
+        (* [jobs] counts total worker domains (orchestrator included), so
+           [jobs - 1] extra domains; jobs = 1 stays on this domain with no
+           spawn overhead.  A [Fault.Killed] raised by any executor is
+           re-raised here by [Parallel.map] — lowest iteration first —
+           exactly as the sequential loop propagates it. *)
+        let outcomes =
+          if jobs <= 1 || count <= 1 then List.map (Executor.execute ctx) plans
+          else
+            Dvz_util.Parallel.map ~domains:(jobs - 1) (Executor.execute ctx)
+              plans
+        in
+        List.iter fold_outcome outcomes);
+    let b1 = !b + count in
+    incr batch_no;
+    (match rz.rz_checkpoint with
+    | Some path
+      when rz.rz_checkpoint_every > 0
+           && b1 / rz.rz_checkpoint_every > !b / rz.rz_checkpoint_every ->
+        (* The batch crossed an every-N boundary; at batch = 1 this is
+           the old [(it + 1) mod every = 0] cadence. *)
+        save_checkpoint ~path (make_checkpoint b1);
+        if events_on then
+          Events.emit tel.t_events
+            [ ("type", Json.Str "checkpoint");
+              ("iteration", Json.Int b1);
+              ("path", Json.Str path) ]
+    | _ -> ());
+    b := b1
   done;
   let elapsed = Float.max 1e-9 (Clock.now clk -. t_start) in
   Metrics.set g_tput (float_of_int !sim_cycles /. elapsed);

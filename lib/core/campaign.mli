@@ -1,12 +1,17 @@
-(** The fuzzing manager: ties the three phases into a campaign loop.
+(** The fuzzing manager — a thin orchestrator over the layered engine.
 
-    Per iteration: pick a seed (a coverage-rewarded corpus entry with a
-    freshly mutated window section, or a brand-new random seed), run
-    Phase 1 (trigger generation, evaluation, training reduction) for new
-    seeds, Phase 2 (window completion, diffIFT simulation, taint-coverage
-    measurement) and Phase 3 (oracles).  Coverage-increasing seeds enter
-    the corpus; the DejaVuzz⁻ ablation disables this feedback and mutates
-    blindly. *)
+    Per batch: snapshot the {!Corpus}, let the {!Scheduler} turn options
+    + snapshot + the master RNG into a batch of iteration plans (each
+    with its own child generator), run every plan through the
+    {!Executor} (phases 1–3, fault polling, watchdog — no shared mutable
+    state), and fold the outcomes back in plan-index order: coverage
+    observe → corpus admit → finding dedup → events.
+
+    Because scheduling decisions are made up front on the master stream
+    and the fold is sequential in iteration order, results depend on the
+    [batch] size (a semantic parameter) but not on [jobs] (an execution
+    resource): [~jobs:n] produces byte-identical findings, coverage
+    points, checkpoints and event streams to [~jobs:1]. *)
 
 type finding = {
   fd_attack : [ `Meltdown | `Spectre ];
@@ -28,6 +33,16 @@ type options = {
   taint_mode : Dvz_ift.Policy.mode;
       (** IFT policy driving coverage and oracles; [Cellift] is the
           over-tainting ablation *)
+  corpus_cap : int;
+      (** max corpus entries kept (highest coverage reward survives);
+          default 64 *)
+  batch : int;
+      (** iterations scheduled per corpus snapshot; all [batch] plans
+          can execute in parallel under [jobs].  Part of the campaign's
+          semantics: changing it changes which corpus state each
+          iteration's scheduling sees (default 1 = the classic fully
+          sequential feedback loop), whereas [jobs] never changes
+          results. *)
 }
 
 val default_options : options
@@ -43,9 +58,10 @@ type telemetry = {
           findings, per-phase seconds, simulated cycles), a [finding]
           record per deduplicated bug class, and [campaign_end]. *)
   t_metrics : Dvz_obs.Metrics.t;
-      (** Registry receiving phase spans, iteration/dedup counters and
-          the corpus-size / cycles-per-second gauges; its clock drives
-          all campaign timing. *)
+      (** Registry receiving phase spans, iteration/batch/dedup counters,
+          per-domain iteration counters and the corpus-size /
+          cycles-per-second gauges; its clock drives all campaign
+          timing. *)
   t_progress_every : int;  (** emit progress every N iterations; 0 = off *)
   t_progress : string -> unit;  (** receives each rendered progress line *)
   t_explain_dir : string option;
@@ -60,7 +76,7 @@ type telemetry = {
 
 val quiet : telemetry
 
-type crash = {
+type crash = Executor.crash = {
   cr_iteration : int;
   cr_seed : Seed.t option;  (** the input being processed, when known *)
   cr_exn : string;
@@ -89,7 +105,9 @@ type resilience = {
       (** watchdog on every testbench run; exceeding it yields a Timeout
           verdict for the iteration instead of a hang *)
   rz_checkpoint : string option;  (** snapshot path; [None] = never *)
-  rz_checkpoint_every : int;      (** snapshot every N iterations *)
+  rz_checkpoint_every : int;
+      (** snapshot when a batch crosses a multiple of N iterations (at
+          [batch = 1], exactly every N iterations) *)
   rz_resume : string option;
       (** checkpoint to restore before the first iteration; a missing
           file silently starts fresh (first run of a kill/resume loop),
@@ -111,15 +129,20 @@ val with_suffix : resilience -> string -> resilience
 val run :
   ?telemetry:telemetry ->
   ?resilience:resilience ->
+  ?jobs:int ->
   Dvz_uarch.Config.t ->
   options ->
   stats
-(** Runs the campaign.  Each iteration draws from a child generator
-    split off the master RNG, so an iteration that crashes or times out
-    perturbs nothing downstream; checkpoints capture the whole loop
-    state atomically, so a campaign killed and resumed from its last
-    checkpoint produces stats bit-identical to an uninterrupted run.
-    Raises [Invalid_argument] on an unusable [rz_resume] file; injected
+(** Runs the campaign.  [jobs] (default 1) is the number of worker
+    domains executing each batch of plans — the orchestrator's domain
+    included, so [jobs = 4] spawns three extra domains.  Since every
+    plan carries its own pre-split child generator and all side effects
+    happen in the orchestrator's plan-index-ordered fold, [jobs] affects
+    wall-clock time only; checkpoints record the batch cursor, so a
+    campaign killed under any [jobs] and resumed under any other
+    produces stats bit-identical to an uninterrupted run.  Raises
+    [Invalid_argument] on an unusable [rz_resume] file or non-positive
+    [jobs]/[options.batch]/[options.corpus_cap]; injected
     {!Dvz_resilience.Fault.Killed} faults propagate to the caller. *)
 
 val dedup_key : finding -> string

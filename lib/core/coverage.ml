@@ -23,6 +23,17 @@ let observe t log =
 
 let observe_result t r = observe t r.Dualcore.r_log
 
+let merge t other =
+  let fresh = ref 0 in
+  Hashtbl.iter
+    (fun k () ->
+      if not (Hashtbl.mem t.seen k) then begin
+        Hashtbl.replace t.seen k ();
+        incr fresh
+      end)
+    other.seen;
+  !fresh
+
 let points t = Hashtbl.length t.seen
 
 let copy t = { seen = Hashtbl.copy t.seen }

@@ -17,6 +17,14 @@ val observe : t -> Dvz_uarch.Dualcore.log_entry list -> int
 
 val observe_result : t -> Dvz_uarch.Dualcore.result -> int
 
+val merge : t -> t -> int
+(** [merge t shard] adds every point of [shard] to [t] and returns the
+    number that was fresh.  A point set observed into per-run shards and
+    merged equals the same runs observed sequentially into one matrix —
+    both deduplicate on the point itself — which is what lets the batch
+    fold account coverage identically to the sequential loop while the
+    hashing happens in parallel.  [shard] is not modified. *)
+
 val points : t -> int
 (** Total covered points — the y-axis of Figure 7. *)
 

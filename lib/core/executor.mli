@@ -1,0 +1,63 @@
+(** Iteration executor — runs one scheduled plan with no shared mutable
+    state.
+
+    Everything an iteration needs arrives in the read-only {!ctx} plus
+    the plan's private child RNG; everything it produces comes back in
+    the {!outcome} value, including a private coverage shard and the
+    drained fault records.  Executions therefore commute: the
+    orchestrator can run a batch of plans on any number of domains and
+    fold the outcomes in plan order with results byte-identical to the
+    sequential loop.
+
+    Fault handling mirrors the old in-loop behaviour: the plan's faults
+    are armed (domain-locally) before phase 1, fired faults are drained
+    into [oc_fired], and an injected {!Dvz_resilience.Fault.Killed}
+    propagates to the caller after cleaning up the ambient fault state. *)
+
+type crash = {
+  cr_iteration : int;
+  cr_seed : Seed.t option;  (** the input being processed, when known *)
+  cr_exn : string;
+  cr_backtrace : string;
+}
+(** One isolated harness crash: the iteration's input descriptor plus
+    the exception and backtrace, recorded instead of killing the
+    campaign. *)
+
+type status = [ `Ok | `Crashed | `Timeout ]
+
+type outcome = {
+  oc_iteration : int;
+  oc_seed_kind : Seed.trigger_kind option;
+  oc_triggered : bool;  (** phase 1 produced a firing transient window *)
+  oc_testcase : Packet.testcase option;  (** phase-1 output (corpus form) *)
+  oc_completed : Packet.testcase option;  (** phase-2 completed testcase *)
+  oc_analysis : Oracle.analysis option;
+  oc_coverage : Coverage.t option;
+      (** per-iteration coverage shard; [None] on timeout/crash/quiet *)
+  oc_status : status;
+  oc_crash : crash option;
+  oc_fired : Dvz_resilience.Fault.fault list;
+  oc_cycles : int;  (** simulated cycles across both DUTs *)
+  oc_p1 : float;  (** phase seconds, from the injected clock *)
+  oc_p2 : float;
+  oc_p3 : float;
+}
+
+type ctx = {
+  cx_cfg : Dvz_uarch.Config.t;
+  cx_style : [ `Derived | `Random ];
+  cx_taint_mode : Dvz_ift.Policy.mode;
+  cx_secret : int array;  (** shared read-only across domains *)
+  cx_fault_plan : Dvz_resilience.Fault.plan;
+  cx_budget : Dvz_uarch.Dualcore.budget option;
+  cx_clock : Dvz_obs.Clock.t;
+  cx_domain_iters : Dvz_obs.Metrics.counter array;
+      (** per-worker-domain iteration counters, indexed by
+          {!Dvz_util.Parallel.worker_index} (clamped to the array) *)
+}
+
+val execute : ctx -> Scheduler.plan -> outcome
+(** Runs one plan through phases 1–3 under the watchdog budget.  Never
+    raises except for {!Dvz_resilience.Fault.Killed}; any other
+    exception is isolated into [oc_crash] with [oc_status = `Crashed]. *)

@@ -1,0 +1,31 @@
+module Rng = Dvz_util.Rng
+
+type pick = Fresh | Mutate of Packet.testcase
+
+type plan = {
+  pl_iteration : int;
+  pl_rng : Rng.t;
+  pl_pick : pick;
+}
+
+let schedule ~fresh_seed_prob ~corpus ~rng ~start ~count =
+  if count < 0 then invalid_arg "Scheduler.schedule: count must be >= 0";
+  (* Built with an explicit in-order loop: the master generator's only
+     draws are one [split] per iteration, in iteration order, so the
+     master stream after K plans is identical whether those K iterations
+     were scheduled as one batch or K singletons — the invariant that
+     makes results independent of the batch partitioning of a prefix and
+     of how many domains later execute the plans. *)
+  let rec build k acc =
+    if k = count then List.rev acc
+    else begin
+      let irng = Rng.split rng in
+      let pick =
+        if Corpus.is_empty corpus || Rng.chance irng fresh_seed_prob then Fresh
+        else Mutate (Corpus.choose corpus irng)
+      in
+      build (k + 1)
+        ({ pl_iteration = start + k; pl_rng = irng; pl_pick = pick } :: acc)
+    end
+  in
+  build 0 []

@@ -1,0 +1,34 @@
+(** Batch scheduler — turns campaign options plus a corpus snapshot into
+    executable iteration plans.
+
+    All RNG-dependent scheduling decisions (fresh seed vs corpus pick,
+    which corpus entry to mutate) are made here, up front and in
+    iteration order, on the orchestrator's master generator.  Each plan
+    carries its own child generator split off the master, so executing
+    the plans — in any order, on any number of domains — consumes
+    nothing from the master stream and perturbs no other plan. *)
+
+type pick =
+  | Fresh  (** generate, evaluate and reduce a brand-new trigger *)
+  | Mutate of Packet.testcase
+      (** mutate the window section of this corpus entry *)
+
+type plan = {
+  pl_iteration : int;  (** global iteration index *)
+  pl_rng : Dvz_util.Rng.t;  (** the iteration's private child generator *)
+  pl_pick : pick;
+}
+
+val schedule :
+  fresh_seed_prob:float ->
+  corpus:Corpus.t ->
+  rng:Dvz_util.Rng.t ->
+  start:int ->
+  count:int ->
+  plan list
+(** [schedule ~fresh_seed_prob ~corpus ~rng ~start ~count] builds plans
+    for iterations [start .. start+count-1].  Per iteration it draws one
+    [Rng.split] from the master [rng] (its only draw, exactly as the
+    sequential loop did), then decides the pick on the child: [Fresh]
+    when the corpus is empty or with probability [fresh_seed_prob],
+    otherwise a weighted {!Corpus.choose} from the snapshot. *)

@@ -24,11 +24,11 @@ let mean_taint cfg mode =
   in
   Dvz_util.Stats.mean totals
 
-let run ?(iterations = 400) ?(rng_seed = 17) cfg =
+let run ?(iterations = 400) ?(rng_seed = 17) ?jobs ?(batch = 1) cfg =
   let campaign mode =
-    Campaign.run cfg
+    Campaign.run ?jobs cfg
       { Campaign.default_options with
-        Campaign.iterations; rng_seed; taint_mode = mode }
+        Campaign.iterations; rng_seed; taint_mode = mode; batch }
   in
   let results =
     Dvz_util.Parallel.map

@@ -18,6 +18,11 @@ type result = {
   cellift_mean_taint : float;
 }
 
-val run : ?iterations:int -> ?rng_seed:int -> Dvz_uarch.Config.t -> result
+val run :
+  ?iterations:int -> ?rng_seed:int -> ?jobs:int -> ?batch:int ->
+  Dvz_uarch.Config.t -> result
+(** [jobs]/[batch] (defaults 1/1) feed both campaigns' in-campaign
+    parallelism (modes × in-campaign [jobs]); [jobs] never changes
+    results. *)
 
 val render : result -> string

@@ -45,7 +45,7 @@ let telemetry_for telemetry ~fuzzer ~trial =
                 (Printf.sprintf "%s/trial%d %s" fuzzer trial line)) }
 
 let run ?(iterations = 1000) ?(trials = 5) ?(rng_seed = 7) ?telemetry
-    ?resilience cfg =
+    ?resilience ?jobs ?(batch = 1) cfg =
   (* Trials are independent deterministic computations: run them on
      parallel domains, as the paper's multi-threaded fuzzing manager runs
      its RTL simulation instances. *)
@@ -60,13 +60,14 @@ let run ?(iterations = 1000) ?(trials = 5) ?(rng_seed = 7) ?telemetry
         Campaign.with_suffix rz (Printf.sprintf "%s.trial%d" fuzzer trial))
       resilience
   in
+  let with_batch o = { o with Campaign.batch } in
   let dejavuzz =
     trial_list (fun (t, s) ->
         (Campaign.run
            ?telemetry:(telemetry_for telemetry ~fuzzer:"DejaVuzz" ~trial:t)
            ?resilience:(resilience_for ~fuzzer:"DejaVuzz" ~trial:t)
-           cfg
-           (Variants.full_options ~iterations ~rng_seed:s))
+           ?jobs cfg
+           (with_batch (Variants.full_options ~iterations ~rng_seed:s)))
           .Campaign.s_coverage_curve)
   in
   let minus =
@@ -74,8 +75,8 @@ let run ?(iterations = 1000) ?(trials = 5) ?(rng_seed = 7) ?telemetry
         (Campaign.run
            ?telemetry:(telemetry_for telemetry ~fuzzer:"DejaVuzz-" ~trial:t)
            ?resilience:(resilience_for ~fuzzer:"DejaVuzz-" ~trial:t)
-           cfg
-           (Variants.minus_options ~iterations ~rng_seed:s))
+           ?jobs cfg
+           (with_batch (Variants.minus_options ~iterations ~rng_seed:s)))
           .Campaign.s_coverage_curve)
   in
   let specdoctor =

@@ -24,12 +24,16 @@ type result = {
 
 val run : ?iterations:int -> ?trials:int -> ?rng_seed:int ->
   ?telemetry:Dejavuzz.Campaign.telemetry ->
-  ?resilience:Dejavuzz.Campaign.resilience -> Dvz_uarch.Config.t -> result
+  ?resilience:Dejavuzz.Campaign.resilience ->
+  ?jobs:int -> ?batch:int -> Dvz_uarch.Config.t -> result
 (** [telemetry] is shared by all DejaVuzz/DejaVuzz⁻ campaigns; each
     trial's events gain [fuzzer]/[trial] context fields and its progress
     lines a ["<fuzzer>/trial<N> "] prefix (trials run on parallel
     domains, so lines from different trials interleave).  [resilience]
     checkpoint/resume paths gain a [".<fuzzer>.trialN"] suffix per
-    campaign; SpecDoctor trials don't checkpoint. *)
+    campaign; SpecDoctor trials don't checkpoint.  [jobs]/[batch]
+    (defaults 1/1) feed each DejaVuzz/DejaVuzz⁻ campaign's in-campaign
+    parallelism (trials × in-campaign [jobs]); [jobs] never changes
+    results. *)
 
 val render : result -> string

@@ -31,7 +31,8 @@ let specdoctor_reach cfg ~rng_seed =
     List.sort_uniq compare comps
   end
 
-let run ?(iterations = 1200) ?(rng_seed = 13) ?telemetry ?resilience cfg =
+let run ?(iterations = 1200) ?(rng_seed = 13) ?telemetry ?resilience ?jobs
+    ?(batch = 1) cfg =
   let resilience =
     (* Each core campaign gets its own checkpoint file from one flag. *)
     Option.map (fun rz -> Campaign.with_suffix rz cfg.Cfg.name) resilience
@@ -53,16 +54,17 @@ let run ?(iterations = 1200) ?(rng_seed = 13) ?telemetry ?resilience cfg =
                   (Printf.sprintf "%s %s" cfg.Cfg.name line)) }
   in
   let stats =
-    Campaign.run ?telemetry ?resilience cfg
-      { Campaign.default_options with Campaign.iterations; rng_seed }
+    Campaign.run ?telemetry ?resilience ?jobs cfg
+      { Campaign.default_options with Campaign.iterations; rng_seed; batch }
   in
   { core = cfg.Cfg.name; stats;
     specdoctor_components = specdoctor_reach cfg ~rng_seed }
 
-let run_many ?iterations ?rng_seed ?telemetry ?resilience cfgs =
-  (* Per-core campaigns are independent: one domain each. *)
+let run_many ?iterations ?rng_seed ?telemetry ?resilience ?jobs ?batch cfgs =
+  (* Per-core campaigns are independent: one domain each; [jobs] worker
+     domains additionally fan out inside each campaign's batches. *)
   Dvz_util.Parallel.map
-    (fun cfg -> run ?iterations ?rng_seed ?telemetry ?resilience cfg)
+    (fun cfg -> run ?iterations ?rng_seed ?telemetry ?resilience ?jobs ?batch cfg)
     cfgs
 
 let render results =

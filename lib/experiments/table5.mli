@@ -14,16 +14,21 @@ type result = {
 val run :
   ?iterations:int -> ?rng_seed:int ->
   ?telemetry:Dejavuzz.Campaign.telemetry ->
-  ?resilience:Dejavuzz.Campaign.resilience -> Dvz_uarch.Config.t -> result
+  ?resilience:Dejavuzz.Campaign.resilience ->
+  ?jobs:int -> ?batch:int -> Dvz_uarch.Config.t -> result
 (** [telemetry] events gain a [core] context field; progress lines are
     prefixed with the core name.  [resilience] checkpoint/resume paths
-    gain a [".<core>"] suffix so each campaign owns its snapshot. *)
+    gain a [".<core>"] suffix so each campaign owns its snapshot.
+    [jobs]/[batch] (defaults 1/1) feed the campaign engine's in-campaign
+    parallelism — [jobs] never changes results. *)
 
 val run_many :
   ?iterations:int -> ?rng_seed:int ->
   ?telemetry:Dejavuzz.Campaign.telemetry ->
   ?resilience:Dejavuzz.Campaign.resilience ->
+  ?jobs:int -> ?batch:int ->
   Dvz_uarch.Config.t list -> result list
-(** Runs one campaign per core on parallel domains. *)
+(** Runs one campaign per core on parallel domains (cores × in-campaign
+    [jobs]). *)
 
 val render : result list -> string

@@ -10,10 +10,35 @@ let m_retries =
     ~help:"Task attempts retried by a Parallel.map retry policy"
     "dvz_parallel_retries_total"
 
+(* Per-domain task counters, memoised: the registry lookup (name
+   formatting + mutex + hashtable probe) happens once per index for the
+   process lifetime instead of once per [map] call, keeping it out of
+   the batch hot path. *)
+let domain_counters : (int, Metrics.counter) Hashtbl.t = Hashtbl.create 8
+let domain_counters_mutex = Mutex.create ()
+
 let domain_counter idx =
-  Metrics.counter Metrics.default
-    ~help:"Tasks executed by one Parallel.map worker domain (0 = caller)"
-    (Printf.sprintf "dvz_parallel_tasks_domain_%d" idx)
+  Mutex.lock domain_counters_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock domain_counters_mutex)
+    (fun () ->
+      match Hashtbl.find_opt domain_counters idx with
+      | Some c -> c
+      | None ->
+          let c =
+            Metrics.counter Metrics.default
+              ~help:"Tasks executed by one Parallel.map worker domain (0 = caller)"
+              (Printf.sprintf "dvz_parallel_tasks_domain_%d" idx)
+          in
+          Hashtbl.replace domain_counters idx c;
+          c)
+
+(* Which worker slot the current domain occupies inside a [map] (0 for
+   the caller and outside any map).  Saved/restored around nested maps
+   so an inner map on the caller's domain does not clobber the index an
+   outer map assigned it. *)
+let worker_key = Domain.DLS.new_key (fun () -> 0)
+let worker_index () = Domain.DLS.get worker_key
 
 let available () = Domain.recommended_domain_count ()
 
@@ -56,7 +81,7 @@ let map ?domains ?retry:policy f xs =
   let domains =
     match domains with Some d -> d | None -> max 1 (available () - 1)
   in
-  if domains <= 1 || n <= 1 then begin
+  if domains < 1 || n <= 1 then begin
     let m_dom = domain_counter 0 in
     List.map
       (fun x ->
@@ -71,23 +96,28 @@ let map ?domains ?retry:policy f xs =
     let errors = Array.make n None in
     let next = Atomic.make 0 in
     let worker idx () =
-      let m_dom = domain_counter idx in
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          Metrics.incr m_tasks;
-          Metrics.incr m_dom;
-          (match run_task policy f arr.(i) with
-          | v -> results.(i) <- Some v
-          | exception e ->
-              (* Record instead of dying: the domain keeps draining tasks
-                 so Domain.join never deadlocks, and the caller re-raises
-                 the first failure with its real backtrace. *)
-              errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-          go ()
-        end
-      in
-      go ()
+      let saved = Domain.DLS.get worker_key in
+      Domain.DLS.set worker_key idx;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set worker_key saved)
+        (fun () ->
+          let m_dom = domain_counter idx in
+          let rec go () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              Metrics.incr m_tasks;
+              Metrics.incr m_dom;
+              (match run_task policy f arr.(i) with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                  (* Record instead of dying: the domain keeps draining tasks
+                     so Domain.join never deadlocks, and the caller re-raises
+                     the first failure with its real backtrace. *)
+                  errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+              go ()
+            end
+          in
+          go ())
     in
     let spawned =
       List.init (min domains (n - 1)) (fun i -> Domain.spawn (worker (i + 1)))

@@ -28,11 +28,20 @@ val retry :
 
 val map : ?domains:int -> ?retry:retry -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] evaluates [f] on every element, using up to [domains]
-    additional domains (default: [recommended_domain_count - 1], at least
-    1).  Results preserve order.  Falls back to sequential evaluation when
-    [domains <= 1] or the list is a singleton.  If any task ultimately
-    fails, the failure with the lowest task index is re-raised in the
-    caller, preserving its constructor, argument and backtrace. *)
+    additional worker domains beyond the caller's (default:
+    [recommended_domain_count - 1], at least 1) — so [~domains:1] runs
+    two workers.  Results preserve order.  Falls back to sequential
+    evaluation when [domains < 1] or the list is a singleton.  If any
+    task ultimately fails, the failure with the lowest task index is
+    re-raised in the caller, preserving its constructor, argument and
+    backtrace. *)
+
+val worker_index : unit -> int
+(** The worker slot the calling domain occupies inside the innermost
+    active {!map} on this domain: 0 for the caller, [1..domains] for
+    spawned workers, and 0 outside any map.  Lets per-task code (e.g.
+    the campaign executor) attribute work to per-domain counters without
+    threading an index through every callback. *)
 
 val available : unit -> int
 (** Domains the runtime recommends. *)

@@ -15,6 +15,7 @@ module Trigger_gen = Dejavuzz.Trigger_gen
 module Trigger_opt = Dejavuzz.Trigger_opt
 module Window_gen = Dejavuzz.Window_gen
 module Coverage = Dejavuzz.Coverage
+module Corpus = Dejavuzz.Corpus
 module Oracle = Dejavuzz.Oracle
 module Campaign = Dejavuzz.Campaign
 
@@ -302,6 +303,102 @@ let test_coverage_copy () =
   Alcotest.(check int) "copy frozen" 1 (Coverage.points snap);
   Alcotest.(check int) "original grew" 2 (Coverage.points cov)
 
+let test_coverage_merge_equals_sequential () =
+  let result e =
+    let tc = completed_tc e in
+    Dualcore.run (Dualcore.create boom (Packet.stimulus ~secret tc))
+  in
+  let r1 = result 15 and r2 = result 23 in
+  (* sequential observation into one matrix *)
+  let seq = Coverage.create () in
+  let f1 = Coverage.observe_result seq r1 in
+  let f2 = Coverage.observe_result seq r2 in
+  (* the same runs observed into per-shard matrices, then merged *)
+  let s1 = Coverage.create () and s2 = Coverage.create () in
+  ignore (Coverage.observe_result s1 r1);
+  ignore (Coverage.observe_result s2 r2);
+  let merged = Coverage.create () in
+  Alcotest.(check int) "first shard all fresh" f1 (Coverage.merge merged s1);
+  Alcotest.(check int) "second shard overlap discounted" f2
+    (Coverage.merge merged s2);
+  Alcotest.(check bool) "same point set" true
+    (Coverage.to_list seq = Coverage.to_list merged);
+  Alcotest.(check int) "re-merge adds nothing" 0 (Coverage.merge merged s1)
+
+(* --- corpus -------------------------------------------------------------- *)
+
+let corpus_tc entropy =
+  let rng = Rng.create entropy in
+  Trigger_gen.generate boom (Seed.random rng)
+
+let corpus_of ~cap specs =
+  let c = Corpus.create ~cap in
+  List.iter
+    (fun (b, r) -> Corpus.admit c ~birth:b ~reward:r (corpus_tc b))
+    specs;
+  c
+
+let births c = List.map (fun e -> e.Corpus.en_birth) (Corpus.entries c)
+
+let test_corpus_cap_eviction () =
+  let c = corpus_of ~cap:3 [ (0, 5); (1, 1); (2, 7); (3, 1); (4, 3) ] in
+  Alcotest.(check int) "capped" 3 (Corpus.size c);
+  Alcotest.(check (list int)) "highest rewards survive" [ 0; 2; 4 ] (births c);
+  (* reward ties break toward the youngest birth *)
+  let t = corpus_of ~cap:2 [ (0, 4); (1, 4); (2, 4) ] in
+  Alcotest.(check (list int)) "ties keep the young" [ 1; 2 ] (births t);
+  (* blind policy: replace_all keeps exactly the latest seed *)
+  Corpus.replace_all t ~birth:9 (corpus_tc 9);
+  Alcotest.(check (list int)) "replace_all keeps one" [ 9 ] (births t)
+
+let test_corpus_choose_weighted () =
+  let c = Corpus.create ~cap:8 in
+  let light = corpus_tc 0 and heavy = corpus_tc 1 in
+  Corpus.admit c ~birth:0 ~reward:0 light;
+  (* weight 1 *)
+  Corpus.admit c ~birth:1 ~reward:19 heavy;
+  (* weight 20 *)
+  let rng = Rng.create 7 in
+  let hits = ref 0 in
+  for _ = 1 to 1000 do
+    if Corpus.choose c rng == heavy then incr hits
+  done;
+  (* expectation 20/21 of 1000; anything over 850 is far from uniform *)
+  Alcotest.(check bool) "picks follow reward weight" true (!hits > 850);
+  Alcotest.check_raises "empty corpus refuses"
+    (Invalid_argument "Corpus.choose: corpus is empty") (fun () ->
+      ignore (Corpus.choose (Corpus.create ~cap:4) rng))
+
+let test_corpus_merge_commutative () =
+  let key c =
+    List.map
+      (fun e -> (e.Corpus.en_birth, e.Corpus.en_reward))
+      (Corpus.entries c)
+  in
+  let a = corpus_of ~cap:4 [ (0, 2); (2, 9); (5, 1) ] in
+  let b = corpus_of ~cap:4 [ (1, 4); (3, 9); (4, 0); (6, 2) ] in
+  let ab = Corpus.merge a b and ba = Corpus.merge b a in
+  Alcotest.(check bool) "commutative" true (key ab = key ba);
+  Alcotest.(check int) "trimmed to cap" 4 (Corpus.size ab);
+  (* colliding births resolve identically from either side *)
+  let x = corpus_of ~cap:4 [ (0, 1) ] and y = corpus_of ~cap:4 [ (0, 6) ] in
+  Alcotest.(check bool) "collision symmetric" true
+    (key (Corpus.merge x y) = key (Corpus.merge y x));
+  Alcotest.check_raises "cap mismatch refused"
+    (Invalid_argument "Corpus.merge: caps differ (4 vs 2)") (fun () ->
+      ignore (Corpus.merge a (Corpus.create ~cap:2)))
+
+let test_corpus_entries_roundtrip () =
+  let c = corpus_of ~cap:4 [ (3, 2); (7, 9); (11, 1); (12, 0) ] in
+  (* of_entries accepts any order and restores the birth sort *)
+  let c' = Corpus.of_entries ~cap:(Corpus.cap c) (List.rev (Corpus.entries c)) in
+  Alcotest.(check bool) "roundtrip preserves entries" true
+    (Corpus.entries c = Corpus.entries c');
+  let snap = Corpus.snapshot c in
+  Corpus.admit c ~birth:20 ~reward:50 (corpus_tc 20);
+  Alcotest.(check bool) "snapshot frozen" false (List.mem 20 (births snap));
+  Alcotest.(check bool) "original grew" true (List.mem 20 (births c))
+
 (* --- phase 3 / oracle ---------------------------------------------------- *)
 
 let test_oracle_detects_dcache_leak () =
@@ -466,6 +563,74 @@ let test_campaign_deterministic () =
   Alcotest.(check int) "same findings"
     (List.length a.Campaign.s_findings)
     (List.length b.Campaign.s_findings)
+
+let run_with_events ?jobs options =
+  let buf = Buffer.create 4096 in
+  let telemetry =
+    { Campaign.quiet with Campaign.t_events = Dvz_obs.Events.to_buffer buf }
+  in
+  let stats = Campaign.run ~telemetry ?jobs boom options in
+  match Dvz_obs.Json.of_lines (Buffer.contents buf) with
+  | Ok events -> (stats, events)
+  | Error e -> Alcotest.failf "unparseable event log: %s" e
+
+(* Wall-clock fields are the only event payload allowed to vary with the
+   execution resources. *)
+let strip_timing = function
+  | Dvz_obs.Json.Obj fields ->
+      Dvz_obs.Json.Obj
+        (List.filter
+           (fun (k, _) ->
+             not
+               (List.mem k [ "phase1_s"; "phase2_s"; "phase3_s"; "elapsed_s" ]))
+           fields)
+  | ev -> ev
+
+let test_campaign_jobs_invariant () =
+  let options =
+    { Campaign.default_options with
+      Campaign.iterations = 24; rng_seed = 9; batch = 4 }
+  in
+  let a, ea = run_with_events ~jobs:1 options in
+  let b, eb = run_with_events ~jobs:3 options in
+  Alcotest.(check bool) "stats identical across jobs" true (a = b);
+  Alcotest.(check bool) "event streams identical modulo timing" true
+    (List.map strip_timing ea = List.map strip_timing eb)
+
+let test_campaign_batch_deterministic () =
+  let options =
+    { Campaign.default_options with
+      Campaign.iterations = 20; rng_seed = 11; batch = 5 }
+  in
+  let a = Campaign.run boom options and b = Campaign.run boom options in
+  Alcotest.(check bool) "batched run deterministic" true (a = b);
+  Alcotest.(check int) "curve covers every iteration" 20
+    (Array.length a.Campaign.s_coverage_curve)
+
+let test_campaign_tight_corpus_cap () =
+  Alcotest.(check int) "default cap" 64
+    Campaign.default_options.Campaign.corpus_cap;
+  let options =
+    { Campaign.default_options with
+      Campaign.iterations = 20; rng_seed = 3; corpus_cap = 2 }
+  in
+  let a = Campaign.run boom options and b = Campaign.run boom options in
+  Alcotest.(check bool) "deterministic under a tight cap" true (a = b);
+  Alcotest.(check bool) "still covers points" true
+    (a.Campaign.s_final_coverage > 0)
+
+let test_campaign_engine_validation () =
+  let options = { Campaign.default_options with Campaign.iterations = 1 } in
+  Alcotest.check_raises "batch >= 1"
+    (Invalid_argument "Campaign.run: options.batch must be at least 1")
+    (fun () -> ignore (Campaign.run boom { options with Campaign.batch = 0 }));
+  Alcotest.check_raises "corpus_cap >= 1"
+    (Invalid_argument "Campaign.run: options.corpus_cap must be at least 1")
+    (fun () ->
+      ignore (Campaign.run boom { options with Campaign.corpus_cap = 0 }));
+  Alcotest.check_raises "jobs >= 1"
+    (Invalid_argument "Campaign.run: jobs must be at least 1") (fun () ->
+      ignore (Campaign.run ~jobs:0 boom options))
 
 let test_campaign_dedup () =
   let options =
@@ -751,7 +916,16 @@ let () =
         [ Alcotest.test_case "accumulates" `Quick test_coverage_accumulates;
           Alcotest.test_case "position insensitive" `Quick
             test_coverage_position_insensitive;
-          Alcotest.test_case "copy" `Quick test_coverage_copy ] );
+          Alcotest.test_case "copy" `Quick test_coverage_copy;
+          Alcotest.test_case "shard merge = sequential" `Quick
+            test_coverage_merge_equals_sequential ] );
+      ( "corpus",
+        [ Alcotest.test_case "cap eviction" `Quick test_corpus_cap_eviction;
+          Alcotest.test_case "weighted choose" `Quick test_corpus_choose_weighted;
+          Alcotest.test_case "merge commutative" `Quick
+            test_corpus_merge_commutative;
+          Alcotest.test_case "entries roundtrip" `Quick
+            test_corpus_entries_roundtrip ] );
       ( "oracle",
         [ Alcotest.test_case "dcache leak" `Quick test_oracle_detects_dcache_leak;
           Alcotest.test_case "attack classification" `Quick
@@ -781,6 +955,13 @@ let () =
       ( "campaign",
         [ Alcotest.test_case "smoke" `Quick test_campaign_smoke;
           Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "jobs invariant" `Quick test_campaign_jobs_invariant;
+          Alcotest.test_case "batch deterministic" `Quick
+            test_campaign_batch_deterministic;
+          Alcotest.test_case "tight corpus cap" `Quick
+            test_campaign_tight_corpus_cap;
+          Alcotest.test_case "engine validation" `Quick
+            test_campaign_engine_validation;
           Alcotest.test_case "dedup" `Quick test_campaign_dedup;
           Alcotest.test_case "report" `Quick test_report_rendering;
           Alcotest.test_case "window groups" `Quick test_window_group ] );

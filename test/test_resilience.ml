@@ -363,12 +363,12 @@ let test_coverage_list_roundtrip () =
 let base_options iterations rng_seed =
   { Campaign.default_options with Campaign.iterations; rng_seed }
 
-let run_with_events ?resilience options =
+let run_with_events ?resilience ?jobs options =
   let buf = Buffer.create 4096 in
   let telemetry =
     { Campaign.quiet with Campaign.t_events = Events.to_buffer buf }
   in
-  let stats = Campaign.run ~telemetry ?resilience boom options in
+  let stats = Campaign.run ~telemetry ?resilience ?jobs boom options in
   let events =
     match Json.of_lines (Buffer.contents buf) with
     | Ok evs -> evs
@@ -492,6 +492,42 @@ let test_campaign_kill_and_resume_bit_identical () =
     (List.exists (fun ev -> jstr "type" ev = Some "checkpoint") revents);
   Sys.remove ck
 
+let test_campaign_kill_and_resume_parallel () =
+  (* Same discipline as above, but the batched engine runs on 3 jobs and
+     the checkpoint is taken at a batch boundary; resuming on 1 job must
+     reproduce the uninterrupted run exactly — checkpoints carry no trace
+     of the domain count that wrote them. *)
+  let options = { (base_options 30 3) with Campaign.batch = 4 } in
+  let reference, events = run_with_events options in
+  (* Batches end at 4,8,12,...,28,30; checkpoint period 10 fires at the
+     boundaries 12, 20 and 30.  Kill past the first of those. *)
+  let k = find_quiet_triggered ~min_iter:13 events in
+  let ck = temp_path "dvz_pck" in
+  let kill_rz =
+    { Campaign.no_resilience with
+      Campaign.rz_checkpoint = Some ck;
+      rz_checkpoint_every = 10;
+      rz_fault_plan =
+        [ { Fault.f_iteration = k; f_cycle = 0; f_action = Fault.Kill "die" } ] }
+  in
+  (match Campaign.run ~resilience:kill_rz ~jobs:3 boom options with
+  | _ -> Alcotest.fail "injected kill did not propagate"
+  | exception Fault.Killed { iteration; _ } ->
+      Alcotest.(check int) "killed at the planned iteration" k iteration);
+  Alcotest.(check bool) "checkpoint written" true (Sys.file_exists ck);
+  let resume_rz =
+    { Campaign.no_resilience with
+      Campaign.rz_checkpoint = Some ck;
+      rz_checkpoint_every = 10;
+      rz_resume = Some ck }
+  in
+  let resumed, revents = run_with_events ~resilience:resume_rz ~jobs:1 options in
+  Alcotest.(check bool) "stats bit-identical after parallel kill+resume" true
+    (resumed = reference);
+  Alcotest.(check bool) "resume event emitted" true
+    (List.exists (fun ev -> jstr "type" ev = Some "resume") revents);
+  Sys.remove ck
+
 let test_campaign_resume_missing_file_starts_fresh () =
   let options = base_options 12 4 in
   let reference = Campaign.run boom options in
@@ -609,6 +645,8 @@ let () =
             test_campaign_hang_becomes_timeout;
           Alcotest.test_case "kill and resume bit-identical" `Quick
             test_campaign_kill_and_resume_bit_identical;
+          Alcotest.test_case "kill and resume under jobs" `Quick
+            test_campaign_kill_and_resume_parallel;
           Alcotest.test_case "resume missing file" `Quick
             test_campaign_resume_missing_file_starts_fresh;
           Alcotest.test_case "resume rejects mismatch" `Quick

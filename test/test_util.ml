@@ -165,12 +165,50 @@ let test_parallel_map_order () =
   Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * x) xs) ys
 
 let test_parallel_map_sequential_fallback () =
-  let ys = Dvz_util.Parallel.map ~domains:1 (fun x -> x + 1) [ 1; 2; 3 ] in
+  let ys = Dvz_util.Parallel.map ~domains:0 (fun x -> x + 1) [ 1; 2; 3 ] in
   Alcotest.(check (list int)) "sequential" [ 2; 3; 4 ] ys
 
 let test_parallel_available () =
   Alcotest.(check bool) "at least one domain" true
     (Dvz_util.Parallel.available () >= 1)
+
+let test_parallel_worker_index () =
+  Alcotest.(check int) "caller is slot 0" 0 (Dvz_util.Parallel.worker_index ());
+  let idxs =
+    Dvz_util.Parallel.map ~domains:3
+      (fun _ -> Dvz_util.Parallel.worker_index ())
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Alcotest.(check bool) "slots within [0..domains]" true
+    (List.for_all (fun i -> i >= 0 && i <= 3) idxs);
+  Alcotest.(check int) "slot restored after the map" 0
+    (Dvz_util.Parallel.worker_index ())
+
+exception Transient_glitch
+
+(* map must agree with List.map in order and content for every domain
+   count, including when tasks fail transiently and are retried. *)
+let prop_parallel_map_equals_list_map =
+  QCheck.Test.make ~name:"parallel map equals List.map (with retries)"
+    ~count:40
+    QCheck.(pair (list_of_size (Gen.int_range 0 12) small_nat) (int_range 0 4))
+    (fun (xs, domains) ->
+      let n = List.length xs in
+      let attempts = Array.init (max 1 n) (fun _ -> Atomic.make 0) in
+      let retry =
+        Dvz_util.Parallel.retry ~max_attempts:3 ~backoff_s:(fun _ -> 0.0) ()
+      in
+      let indexed = List.mapi (fun i x -> (i, x)) xs in
+      let got =
+        Dvz_util.Parallel.map ~domains ~retry
+          (fun (i, x) ->
+            (* every third task throws once before succeeding *)
+            if i mod 3 = 0 && Atomic.fetch_and_add attempts.(i) 1 = 0 then
+              raise Transient_glitch;
+            (x * x) + i)
+          indexed
+      in
+      got = List.map (fun (i, x) -> (x * x) + i) indexed)
 
 let () =
   Alcotest.run "dvz_util"
@@ -200,7 +238,9 @@ let () =
         [ Alcotest.test_case "order" `Quick test_parallel_map_order;
           Alcotest.test_case "sequential fallback" `Quick
             test_parallel_map_sequential_fallback;
-          Alcotest.test_case "available" `Quick test_parallel_available ] );
+          Alcotest.test_case "available" `Quick test_parallel_available;
+          Alcotest.test_case "worker index" `Quick test_parallel_worker_index;
+          QCheck_alcotest.to_alcotest prop_parallel_map_equals_list_map ] );
       ( "tablefmt",
         [ Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "separator" `Quick test_table_separator ] ) ]
