@@ -207,6 +207,34 @@ module Simbench = struct
         ("domains_available", Dvz_obs.Json.Int (Dvz_util.Parallel.available ()));
         ("deterministic", Dvz_obs.Json.Bool deterministic) ]
 
+  (* What the layered engine costs when there is nothing to parallelise:
+     the same 64-iteration campaign run once through the batching
+     machinery (snapshot → schedule a plan batch → dispatch → fold,
+     batch = 8) and once as the direct sequential fold (batch = 1, the
+     classic feedback loop with no batch bookkeeping), both at jobs = 1.
+     The ratio is the price of keeping one engine for both shapes. *)
+  let parallel_overhead_report () =
+    let module C = Dejavuzz.Campaign in
+    let boom = Cfg.boom_small in
+    let options batch =
+      { C.default_options with C.iterations = 64; rng_seed = 11; batch }
+    in
+    let measure batch =
+      let run () = ignore (C.run ~jobs:1 boom (options batch)) in
+      run ();
+      min_of_blocks ~blocks:3 ~per_block:1 run
+    in
+    let engine_ns = measure 8 in
+    let direct_ns = measure 1 in
+    Dvz_obs.Json.Obj
+      [ ("name", Dvz_obs.Json.Str "campaign/parallel-overhead");
+        ("iterations", Dvz_obs.Json.Int 64);
+        ("engine_batch", Dvz_obs.Json.Int 8);
+        ("engine_ns", Dvz_obs.Json.Float engine_ns);
+        ("direct_ns", Dvz_obs.Json.Float direct_ns);
+        ("overhead", Dvz_obs.Json.Float (engine_ns /. Float.max 1.0 direct_ns));
+        ("domains_available", Dvz_obs.Json.Int (Dvz_util.Parallel.available ())) ]
+
   let json_report () =
     let ws = workloads () in
     let measured = List.map (fun w -> (w, measure_ns w)) ws in
@@ -242,11 +270,12 @@ module Simbench = struct
           "ir/sim-cycle" ]
     in
     Dvz_obs.Json.Obj
-      [ ("schema", Dvz_obs.Json.Str "dvz-bench-sim/3");
+      [ ("schema", Dvz_obs.Json.Str "dvz-bench-sim/4");
         ("benches", Dvz_obs.Json.Arr bench_objs);
         ("speedups", Dvz_obs.Json.Arr speedups);
         ("e2e", Dvz_obs.Json.Arr (e2e_report ()));
-        ("campaign", Dvz_obs.Json.Arr [ campaign_report () ]) ]
+        ("campaign",
+         Dvz_obs.Json.Arr [ campaign_report (); parallel_overhead_report () ]) ]
 
   let write_json path =
     let json = json_report () in
@@ -281,14 +310,22 @@ module Simbench = struct
                     match
                       ( List.assoc_opt "name" f,
                         List.assoc_opt "scaling" f,
+                        List.assoc_opt "overhead" f,
                         List.assoc_opt "domains_available" f )
                     with
                     | ( Some (Dvz_obs.Json.Str n),
                         Some (Dvz_obs.Json.Float s),
+                        _,
                         Some (Dvz_obs.Json.Int d) ) ->
                         Printf.printf
                           "%-32s %.2fx scaling at 4 jobs (%d domains available)\n"
                           n s d
+                    | ( Some (Dvz_obs.Json.Str n),
+                        None,
+                        Some (Dvz_obs.Json.Float o),
+                        _ ) ->
+                        Printf.printf
+                          "%-32s %.2fx engine over direct fold at 1 job\n" n o
                     | _ -> ())
                 | _ -> ())
               cs

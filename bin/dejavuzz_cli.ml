@@ -82,6 +82,12 @@ let with_telemetry ?explain_dir file progress every k =
     | None -> Dvz_obs.Events.null
     | Some (c, _) -> Dvz_obs.Events.to_channel c
   in
+  (* Insurance for abnormal exits (injected kills, exit 1 paths): the
+     tail of the event log reaches disk even when the Fun.protect below
+     never unwinds.  Flushing an already-closed channel is harmless. *)
+  (match chan with
+  | Some (c, _) -> at_exit (fun () -> try flush c with Sys_error _ -> ())
+  | None -> ());
   let telemetry =
     { Campaign.quiet with
       Campaign.t_events = sink;
@@ -102,6 +108,144 @@ let dump_metrics = function
       prerr_endline (Dvz_obs.Exporters.render_json Dvz_obs.Metrics.default)
   | `Prometheus ->
       prerr_string (Dvz_obs.Exporters.prometheus Dvz_obs.Metrics.default)
+
+(* --- live observability --------------------------------------------------- *)
+
+let serve_t =
+  Arg.(value & opt (some int) None
+       & info [ "serve" ] ~docv:"PORT"
+           ~doc:"Serve live campaign status over HTTP on 127.0.0.1:PORT (0 \
+                 picks an ephemeral port, printed to stderr): /healthz, \
+                 /status (JSON snapshot), /metrics (Prometheus exposition) \
+                 and /events?n=K (most recent event lines).  Read-only \
+                 observers: results stay byte-identical with or without \
+                 it.")
+
+let profile_flag_t =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Arm the hierarchical self-profiler and print a per-region \
+                 count/total/self/max table to stderr after the run.")
+
+let profile_json_t =
+  Arg.(value & opt (some string) None
+       & info [ "profile-json" ] ~docv:"FILE"
+           ~doc:"Write the profiler aggregates to FILE as a dvz-profile/1 \
+                 JSON artifact (implies --profile).")
+
+let trace_out_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Record individual profiler regions and write them to FILE \
+                 as Chrome trace_event JSON (load in Perfetto or \
+                 chrome://tracing; one track per worker domain).  Implies \
+                 --profile.")
+
+type obs = {
+  ob_serve : int option;
+  ob_profile : bool;
+  ob_profile_json : string option;
+  ob_trace_out : string option;
+}
+
+let obs_t =
+  let build ob_serve ob_profile ob_profile_json ob_trace_out =
+    { ob_serve; ob_profile; ob_profile_json; ob_trace_out }
+  in
+  Term.(const build $ serve_t $ profile_flag_t $ profile_json_t $ trace_out_t)
+
+(* Arms the profiler / status server around [k], rewiring the telemetry so
+   the campaign publishes to them, and emits the end-of-run artifacts.
+   Everything here observes the campaign; nothing feeds back into it. *)
+let with_obs obs telemetry k =
+  let profiling =
+    obs.ob_profile || obs.ob_profile_json <> None || obs.ob_trace_out <> None
+  in
+  if profiling then
+    Dvz_obs.Profile.arm ~trace:(obs.ob_trace_out <> None) ();
+  let telemetry, server =
+    match obs.ob_serve with
+    | None -> (telemetry, None)
+    | Some port ->
+        let board = Campaign.new_board () in
+        let ring = Dvz_obs.Events.ring () in
+        let events =
+          if Dvz_obs.Events.is_null telemetry.Campaign.t_events then ring
+          else Dvz_obs.Events.tee telemetry.Campaign.t_events ring
+        in
+        let registry = telemetry.Campaign.t_metrics in
+        let telemetry =
+          { telemetry with
+            Campaign.t_events = events;
+            t_board = Some board }
+        in
+        let routes =
+          [ ("/healthz", fun _ -> Dvz_obs.Server.text "ok\n");
+            ( "/status",
+              fun _ ->
+                match Campaign.board_read board with
+                | Some p -> Dvz_obs.Server.json (Campaign.progress_json p)
+                | None ->
+                    Dvz_obs.Server.json
+                      (Dvz_obs.Json.Obj
+                         [ ("phase", Dvz_obs.Json.Str "starting") ]) );
+            ( "/metrics",
+              fun _ ->
+                { Dvz_obs.Server.status = 200;
+                  content_type = "text/plain; version=0.0.4";
+                  body = Dvz_obs.Exporters.prometheus registry } );
+            ( "/events",
+              fun query ->
+                let n =
+                  match List.assoc_opt "n" query with
+                  | Some s -> ( match int_of_string_opt s with
+                               | Some n when n > 0 -> n
+                               | _ -> 50)
+                  | None -> 50
+                in
+                let lines = Dvz_obs.Events.recent ring n in
+                { Dvz_obs.Server.status = 200;
+                  content_type = "application/x-ndjson";
+                  body =
+                    (match lines with
+                    | [] -> ""
+                    | _ -> String.concat "\n" lines ^ "\n") } ) ]
+        in
+        (match Dvz_obs.Server.start ~port ~routes () with
+        | Error e ->
+            Printf.eprintf "dejavuzz: %s\n" e;
+            exit 1
+        | Ok sv ->
+            Printf.eprintf "dejavuzz: serving status on http://127.0.0.1:%d/\n%!"
+              (Dvz_obs.Server.port sv);
+            (telemetry, Some sv))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match server with Some sv -> Dvz_obs.Server.stop sv | None -> ());
+      if profiling then begin
+        let entries = Dvz_obs.Profile.snapshot () in
+        if obs.ob_profile then
+          prerr_string (Dvz_obs.Profile.render_table entries);
+        (match obs.ob_profile_json with
+        | Some f ->
+            Out_channel.with_open_text f (fun oc ->
+                output_string oc
+                  (Dvz_obs.Json.to_string (Dvz_obs.Profile.to_json entries));
+                output_char oc '\n')
+        | None -> ());
+        (match obs.ob_trace_out with
+        | Some f ->
+            let dropped = Dvz_obs.Profile.events_dropped () in
+            if dropped > 0 then
+              Printf.eprintf
+                "dejavuzz: trace buffer overflowed; %d regions dropped\n"
+                dropped;
+            Dvz_obs.Trace_event.write_file f (Dvz_obs.Profile.events ())
+        | None -> ());
+        Dvz_obs.Profile.disarm ()
+      end)
+    (fun () -> k telemetry)
 
 (* --- resilience wiring ---------------------------------------------------- *)
 
@@ -212,7 +356,7 @@ let handle_faults k =
 
 let fuzz_cmd =
   let run cfg iterations rng_seed random_training no_coverage telemetry_file
-      progress progress_every metrics resilience explain_dir jobs batch =
+      progress progress_every metrics resilience explain_dir jobs batch obs =
     handle_faults (fun () ->
         let options =
           { Campaign.default_options with
@@ -223,7 +367,8 @@ let fuzz_cmd =
         let stats =
           with_telemetry ?explain_dir telemetry_file progress progress_every
             (fun telemetry ->
-              Campaign.run ~telemetry ~resilience ~jobs cfg options)
+              with_obs obs telemetry (fun telemetry ->
+                  Campaign.run ~telemetry ~resilience ~jobs cfg options))
         in
         print_string (Dejavuzz.Report.summary stats);
         print_string
@@ -245,7 +390,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Run a DejaVuzz fuzzing campaign.")
     Term.(const run $ core_t $ iterations_t 500 $ seed_t $ random_training
           $ no_coverage $ telemetry_t $ progress_t $ progress_every_t
-          $ metrics_t $ resilience_t $ explain_dir_t $ jobs_t $ batch_t)
+          $ metrics_t $ resilience_t $ explain_dir_t $ jobs_t $ batch_t
+          $ obs_t)
 
 let table2_cmd =
   Cmd.v
@@ -282,21 +428,22 @@ let table4_cmd =
 
 let table5_cmd =
   let run iterations rng_seed telemetry_file progress progress_every
-      resilience jobs batch =
+      resilience jobs batch obs =
     handle_faults (fun () ->
         let results =
           with_telemetry telemetry_file progress progress_every
             (fun telemetry ->
-              E.Table5.run_many ~iterations ~rng_seed ~telemetry ~resilience
-                ~jobs ~batch
-                [ Cfg.boom_small; Cfg.xiangshan_minimal ])
+              with_obs obs telemetry (fun telemetry ->
+                  E.Table5.run_many ~iterations ~rng_seed ~telemetry
+                    ~resilience ~jobs ~batch
+                    [ Cfg.boom_small; Cfg.xiangshan_minimal ]))
         in
         print_string (E.Table5.render results))
   in
   Cmd.v
     (Cmd.info "table5" ~doc:"Discovered transient execution bug classes.")
     Term.(const run $ iterations_t 1200 $ seed_t $ telemetry_t $ progress_t
-          $ progress_every_t $ resilience_t $ jobs_t $ batch_t)
+          $ progress_every_t $ resilience_t $ jobs_t $ batch_t $ obs_t)
 
 let fig6_cmd =
   Cmd.v
@@ -306,13 +453,14 @@ let fig6_cmd =
 
 let fig7_cmd =
   let run cfg iterations trials rng_seed telemetry_file progress
-      progress_every resilience jobs batch =
+      progress_every resilience jobs batch obs =
     handle_faults (fun () ->
         let result =
           with_telemetry telemetry_file progress progress_every
             (fun telemetry ->
-              E.Fig7.run ~iterations ~trials ~rng_seed ~telemetry ~resilience
-                ~jobs ~batch cfg)
+              with_obs obs telemetry (fun telemetry ->
+                  E.Fig7.run ~iterations ~trials ~rng_seed ~telemetry
+                    ~resilience ~jobs ~batch cfg))
         in
         print_string (E.Fig7.render result))
   in
@@ -324,7 +472,7 @@ let fig7_cmd =
     (Cmd.info "fig7" ~doc:"Coverage growth: DejaVuzz vs DejaVuzz- vs SpecDoctor.")
     Term.(const run $ core_t $ iterations_t 1000 $ trials $ seed_t
           $ telemetry_t $ progress_t $ progress_every_t $ resilience_t
-          $ jobs_t $ batch_t)
+          $ jobs_t $ batch_t $ obs_t)
 
 let attack_arg =
   let parse s =
@@ -412,15 +560,17 @@ let migrate_cmd =
     Term.(const run $ core_t $ seed_t)
 
 let ablation_cmd =
-  let run iterations rng_seed jobs batch =
+  let run iterations rng_seed jobs batch obs =
     print_string
       (E.Ablation.render
-         (E.Ablation.run ~iterations ~rng_seed ~jobs ~batch Cfg.boom_small))
+         (with_obs obs Campaign.quiet (fun telemetry ->
+              E.Ablation.run ~telemetry ~iterations ~rng_seed ~jobs ~batch
+                Cfg.boom_small)))
   in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Compare diffIFT against CellIFT as the fuzzing substrate.")
-    Term.(const run $ iterations_t 400 $ seed_t $ jobs_t $ batch_t)
+    Term.(const run $ iterations_t 400 $ seed_t $ jobs_t $ batch_t $ obs_t)
 
 let bugs_cmd =
   Cmd.v

@@ -3,8 +3,11 @@ module Clock = Dvz_obs.Clock
 module Metrics = Dvz_obs.Metrics
 module Events = Dvz_obs.Events
 module Json = Dvz_obs.Json
+module Profile = Dvz_obs.Profile
 module Fault = Dvz_resilience.Fault
 module Snapshot = Dvz_resilience.Snapshot
+
+let profiled name f = if Profile.armed () then Profile.wrap name f else f ()
 
 let m_crashes =
   Metrics.counter Metrics.default
@@ -37,17 +40,73 @@ let default_options =
     taint_mode = Dvz_ift.Policy.Diffift;
     corpus_cap = 64; batch = 1 }
 
+(* Live status snapshot published by the orchestrator's fold after every
+   iteration: one immutable record swapped into an Atomic, so the server
+   thread (or any other observer) reads a consistent view without the
+   hot loop ever taking a lock. *)
+type progress = {
+  pg_core : string;
+  pg_phase : string;  (* "fuzzing" | "finished" *)
+  pg_iteration : int;  (* iterations folded so far *)
+  pg_total : int;
+  pg_findings : int;
+  pg_triggered : int;
+  pg_coverage : int;
+  pg_corpus_size : int;
+  pg_top_rewards : int list;  (* highest corpus rewards, descending *)
+  pg_crashes : int;
+  pg_timeouts : int;
+  pg_sim_cycles : int;
+  pg_batches : int;
+  pg_jobs : int;
+  pg_domain_iters : int array;  (* per worker domain, 0 = orchestrator *)
+  pg_elapsed_s : float;
+  pg_eta_s : float option;
+}
+
+type board = progress option Atomic.t
+
+let new_board () : board = Atomic.make None
+let board_read (b : board) = Atomic.get b
+
+let progress_json p =
+  Json.Obj
+    [ ("core", Json.Str p.pg_core);
+      ("phase", Json.Str p.pg_phase);
+      ("iteration", Json.Int p.pg_iteration);
+      ("total", Json.Int p.pg_total);
+      ("findings", Json.Int p.pg_findings);
+      ("triggered", Json.Int p.pg_triggered);
+      ("coverage", Json.Int p.pg_coverage);
+      ("corpus_size", Json.Int p.pg_corpus_size);
+      ( "top_rewards",
+        Json.Arr (List.map (fun r -> Json.Int r) p.pg_top_rewards) );
+      ("harness_crashes", Json.Int p.pg_crashes);
+      ("watchdog_timeouts", Json.Int p.pg_timeouts);
+      ("sim_cycles", Json.Int p.pg_sim_cycles);
+      ("batches", Json.Int p.pg_batches);
+      ("jobs", Json.Int p.pg_jobs);
+      ( "domain_iterations",
+        Json.Arr
+          (Array.to_list (Array.map (fun n -> Json.Int n) p.pg_domain_iters))
+      );
+      ("elapsed_s", Json.Float p.pg_elapsed_s);
+      ( "eta_s",
+        match p.pg_eta_s with None -> Json.Null | Some s -> Json.Float s ) ]
+
 type telemetry = {
   t_events : Events.sink;
   t_metrics : Metrics.t;
   t_progress_every : int;
   t_progress : string -> unit;
   t_explain_dir : string option;
+  t_board : board option;
 }
 
 let quiet =
   { t_events = Events.null; t_metrics = Metrics.default;
-    t_progress_every = 0; t_progress = ignore; t_explain_dir = None }
+    t_progress_every = 0; t_progress = ignore; t_explain_dir = None;
+    t_board = None }
 
 type crash = Executor.crash = {
   cr_iteration : int;
@@ -413,14 +472,57 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1) cfg
     | _ -> ()
   end;
   let ctx =
-    { Executor.cx_cfg = cfg;
-      cx_style = options.style;
-      cx_taint_mode = options.taint_mode;
-      cx_secret = secret;
-      cx_fault_plan = rz.rz_fault_plan;
-      cx_budget = rz.rz_budget;
-      cx_clock = clk;
-      cx_domain_iters = domain_iters }
+    profiled "campaign/ctx-build" (fun () ->
+        { Executor.cx_cfg = cfg;
+          cx_style = options.style;
+          cx_taint_mode = options.taint_mode;
+          cx_secret = secret;
+          cx_fault_plan = rz.rz_fault_plan;
+          cx_budget = rz.rz_budget;
+          cx_clock = clk;
+          cx_domain_iters = domain_iters })
+  in
+  (* Swap a fresh status snapshot into the board.  Only runs when a
+     board is attached (i.e. a status server is watching); it reads the
+     real clock and fold state but draws nothing from the RNG and writes
+     nothing the campaign reads back, so results are unchanged. *)
+  let publish phase it_done =
+    match tel.t_board with
+    | None -> ()
+    | Some board ->
+        let elapsed = Float.max 1e-9 (Clock.now clk -. t_start) in
+        let rewards =
+          Corpus.entries corpus
+          |> List.map (fun e -> e.Corpus.en_reward)
+          |> List.sort (fun a b -> compare b a)
+        in
+        let eta =
+          if it_done > start_it && it_done < options.iterations then
+            Some
+              (elapsed
+              /. float_of_int (it_done - start_it)
+              *. float_of_int (options.iterations - it_done))
+          else None
+        in
+        Atomic.set board
+          (Some
+             { pg_core = cfg.Dvz_uarch.Config.name;
+               pg_phase = phase;
+               pg_iteration = it_done;
+               pg_total = options.iterations;
+               pg_findings = !n_findings;
+               pg_triggered = !triggered;
+               pg_coverage = Coverage.points coverage;
+               pg_corpus_size = Corpus.size corpus;
+               pg_top_rewards = List.filteri (fun i _ -> i < 5) rewards;
+               pg_crashes = List.length !crashes;
+               pg_timeouts = !timeouts;
+               pg_sim_cycles = !sim_cycles;
+               pg_batches = !batch_no;
+               pg_jobs = jobs;
+               pg_domain_iters = Array.map Metrics.counter_value domain_iters;
+               pg_elapsed_s = elapsed;
+               pg_eta_s = eta })
   in
   (* Fold one outcome into the campaign state — the only place coverage,
      corpus, findings and events are touched.  Called in plan-index
@@ -587,17 +689,20 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1) cfg
         (Printf.sprintf
            "[%d/%d] coverage=%d findings=%d triggered=%d %.0f cycles/s"
            (it + 1) options.iterations curve.(it) !n_findings !triggered cps)
-    end
+    end;
+    publish "fuzzing" (it + 1)
   in
   let b = ref start_it in
-  while !b < options.iterations do
-    let count = min options.batch (options.iterations - !b) in
-    Metrics.incr m_batches;
-    Metrics.with_span tel.t_metrics "dvz_campaign_batch_seconds" (fun () ->
+  (try
+     while !b < options.iterations do
+       let count = min options.batch (options.iterations - !b) in
+       Metrics.incr m_batches;
+       Metrics.with_span tel.t_metrics "dvz_campaign_batch_seconds" (fun () ->
         let snap = Corpus.snapshot corpus in
         let plans =
-          Scheduler.schedule ~fresh_seed_prob:options.fresh_seed_prob
-            ~corpus:snap ~rng ~start:!b ~count
+          profiled "campaign/schedule" (fun () ->
+              Scheduler.schedule ~fresh_seed_prob:options.fresh_seed_prob
+                ~corpus:snap ~rng ~start:!b ~count)
         in
         (* [jobs] counts total worker domains (orchestrator included), so
            [jobs - 1] extra domains; jobs = 1 stays on this domain with no
@@ -611,23 +716,32 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1) cfg
               plans
         in
         List.iter fold_outcome outcomes);
-    let b1 = !b + count in
-    incr batch_no;
-    (match rz.rz_checkpoint with
-    | Some path
-      when rz.rz_checkpoint_every > 0
-           && b1 / rz.rz_checkpoint_every > !b / rz.rz_checkpoint_every ->
-        (* The batch crossed an every-N boundary; at batch = 1 this is
-           the old [(it + 1) mod every = 0] cadence. *)
-        save_checkpoint ~path (make_checkpoint b1);
-        if events_on then
-          Events.emit tel.t_events
-            [ ("type", Json.Str "checkpoint");
-              ("iteration", Json.Int b1);
-              ("path", Json.Str path) ]
-    | _ -> ());
-    b := b1
-  done;
+       let b1 = !b + count in
+       incr batch_no;
+       (match rz.rz_checkpoint with
+       | Some path
+         when rz.rz_checkpoint_every > 0
+              && b1 / rz.rz_checkpoint_every > !b / rz.rz_checkpoint_every ->
+           (* The batch crossed an every-N boundary; at batch = 1 this is
+              the old [(it + 1) mod every = 0] cadence. *)
+           profiled "campaign/checkpoint" (fun () ->
+               save_checkpoint ~path (make_checkpoint b1));
+           if events_on then
+             Events.emit tel.t_events
+               [ ("type", Json.Str "checkpoint");
+                 ("iteration", Json.Int b1);
+                 ("path", Json.Str path) ]
+       | _ -> ());
+       b := b1
+     done
+   with e ->
+     (* An injected kill (or any other abort) unwinds through here; the
+        sink's buffered tail is the part of the event log a post-mortem
+        needs most, so flush before letting the exception rip. *)
+     let bt = Printexc.get_raw_backtrace () in
+     Events.flush tel.t_events;
+     Printexc.raise_with_backtrace e bt);
+  publish "finished" options.iterations;
   let elapsed = Float.max 1e-9 (Clock.now clk -. t_start) in
   Metrics.set g_tput (float_of_int !sim_cycles /. elapsed);
   let final_coverage = Coverage.points coverage in

@@ -47,6 +47,39 @@ type options = {
 
 val default_options : options
 
+(** {2 Live status board} — the lock-free snapshot feed behind
+    [/status]. *)
+
+type progress = {
+  pg_core : string;
+  pg_phase : string;  (** ["fuzzing"] while running, ["finished"] after *)
+  pg_iteration : int;  (** iterations folded so far *)
+  pg_total : int;
+  pg_findings : int;
+  pg_triggered : int;
+  pg_coverage : int;
+  pg_corpus_size : int;
+  pg_top_rewards : int list;  (** highest corpus rewards, descending, ≤5 *)
+  pg_crashes : int;
+  pg_timeouts : int;
+  pg_sim_cycles : int;
+  pg_batches : int;
+  pg_jobs : int;
+  pg_domain_iters : int array;
+      (** iterations executed per worker domain (0 = orchestrator) *)
+  pg_elapsed_s : float;
+  pg_eta_s : float option;  (** linear extrapolation; [None] at the edges *)
+}
+
+type board
+(** A single-slot mailbox: the orchestrator's fold swaps in a fresh
+    immutable {!progress} after every iteration (an [Atomic.set], no
+    lock), and any thread may read the latest snapshot at any time. *)
+
+val new_board : unit -> board
+val board_read : board -> progress option
+val progress_json : progress -> Dvz_obs.Json.t
+
 (** Telemetry wiring for a campaign.  [quiet] (the default) records
     always-on metrics into {!Dvz_obs.Metrics.default}, emits no events
     and prints no progress; telemetry never influences fuzzing decisions,
@@ -72,6 +105,11 @@ type telemetry = {
           [provenance_trace] event is emitted and the finding's
           [fd_source] is filled in.  The replay draws nothing from the
           campaign RNG, so fuzzing results are unchanged. *)
+  t_board : board option;
+      (** when set, the fold publishes a {!progress} snapshot here after
+          every iteration (and a final ["finished"] one) — how a status
+          server observes the campaign without the hot loop taking
+          locks *)
 }
 
 val quiet : telemetry

@@ -1,4 +1,5 @@
 module Rng = Dvz_util.Rng
+module Profile = Dvz_obs.Profile
 
 type entry = {
   en_birth : int;
@@ -66,7 +67,7 @@ let of_entries ~cap es =
   Array.sort by_birth arr;
   { cap; items = keep_best cap arr; alias = None }
 
-let merge a b =
+let merge_impl a b =
   if a.cap <> b.cap then
     invalid_arg
       (Printf.sprintf "Corpus.merge: caps differ (%d vs %d)" a.cap b.cap);
@@ -85,6 +86,10 @@ let merge a b =
   let arr = Array.of_list (Hashtbl.fold (fun _ e acc -> e :: acc) tbl []) in
   Array.sort by_birth arr;
   { cap = a.cap; items = keep_best a.cap arr; alias = None }
+
+let merge a b =
+  if Profile.armed () then Profile.wrap "corpus/merge" (fun () -> merge_impl a b)
+  else merge_impl a b
 
 (* Vose's alias method: O(n) table build (cached until the next
    mutation), O(1) per draw.  The build walks the small/large worklists
@@ -130,7 +135,7 @@ let alias_table t =
       t.alias <- Some tab;
       tab
 
-let choose t rng =
+let choose_impl t rng =
   let n = Array.length t.items in
   if n = 0 then invalid_arg "Corpus.choose: corpus is empty";
   let prob, alias = alias_table t in
@@ -139,3 +144,8 @@ let choose t rng =
   let i = Rng.int rng n in
   let j = if Rng.float rng 1.0 < prob.(i) then i else alias.(i) in
   t.items.(j).en_testcase
+
+let choose t rng =
+  if Profile.armed () then
+    Profile.wrap "corpus/choose" (fun () -> choose_impl t rng)
+  else choose_impl t rng

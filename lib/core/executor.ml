@@ -1,7 +1,12 @@
 module Rng = Dvz_util.Rng
 module Clock = Dvz_obs.Clock
 module Metrics = Dvz_obs.Metrics
+module Profile = Dvz_obs.Profile
 module Fault = Dvz_resilience.Fault
+
+(* Armed-guarded so the disarmed cost is one atomic load and no closure
+   allocation (same discipline as the provenance hooks). *)
+let profiled name f = if Profile.armed () then Profile.wrap name f else f ()
 
 type crash = {
   cr_iteration : int;
@@ -67,22 +72,23 @@ let execute cx (plan : Scheduler.plan) =
        window, or generate, evaluate and reduce a fresh trigger. *)
     let t0 = Clock.now clk in
     let phase1 =
-      match plan.Scheduler.pl_pick with
-      | Scheduler.Fresh ->
-          let seed = Seed.random irng in
-          iter_seed := Some seed;
-          seed_kind := Some seed.Seed.kind;
-          let tc = Trigger_gen.generate ~style:cx.cx_style cx.cx_cfg seed in
-          if Trigger_opt.evaluate cx.cx_cfg tc then begin
-            let reduced, _ = Trigger_opt.reduce cx.cx_cfg tc in
-            Some reduced
-          end
-          else None
-      | Scheduler.Mutate tc ->
-          let seed = Seed.mutate_window irng tc.Packet.seed in
-          iter_seed := Some seed;
-          seed_kind := Some seed.Seed.kind;
-          Some { tc with Packet.seed }
+      profiled "executor/phase1" (fun () ->
+          match plan.Scheduler.pl_pick with
+          | Scheduler.Fresh ->
+              let seed = Seed.random irng in
+              iter_seed := Some seed;
+              seed_kind := Some seed.Seed.kind;
+              let tc = Trigger_gen.generate ~style:cx.cx_style cx.cx_cfg seed in
+              if Trigger_opt.evaluate cx.cx_cfg tc then begin
+                let reduced, _ = Trigger_opt.reduce cx.cx_cfg tc in
+                Some reduced
+              end
+              else None
+          | Scheduler.Mutate tc ->
+              let seed = Seed.mutate_window irng tc.Packet.seed in
+              iter_seed := Some seed;
+              seed_kind := Some seed.Seed.kind;
+              Some { tc with Packet.seed })
     in
     p1 := Clock.now clk -. t0;
     match phase1 with
@@ -92,18 +98,22 @@ let execute cx (plan : Scheduler.plan) =
         testcase := Some tc;
         (* Phase 2 — complete the transient window with encoding gadgets. *)
         let t1 = Clock.now clk in
-        let comp = Window_gen.complete cx.cx_cfg tc in
+        let comp =
+          profiled "executor/phase2" (fun () ->
+              Window_gen.complete cx.cx_cfg tc)
+        in
         completed := Some comp;
         p2 := Clock.now clk -. t1;
         (* Phase 3 — dual-DUT simulation, coverage, oracles. *)
         let t2 = Clock.now clk in
         let a =
-          (* Keep_last 8192 never truncates a real run (stimuli cap at
-             3000 slots); it only bounds the logs of pathological or
-             hung simulations over a long campaign. *)
-          Oracle.analyze ~mode:cx.cx_taint_mode
-            ~log_bound:(Dvz_ift.Taintlog.Keep_last 8192)
-            ?budget:cx.cx_budget cx.cx_cfg ~secret:cx.cx_secret comp
+          profiled "executor/phase3" (fun () ->
+              (* Keep_last 8192 never truncates a real run (stimuli cap
+                 at 3000 slots); it only bounds the logs of pathological
+                 or hung simulations over a long campaign. *)
+              Oracle.analyze ~mode:cx.cx_taint_mode
+                ~log_bound:(Dvz_ift.Taintlog.Keep_last 8192)
+                ?budget:cx.cx_budget cx.cx_cfg ~secret:cx.cx_secret comp)
         in
         analysis := Some a;
         p3 := Clock.now clk -. t2;

@@ -24,9 +24,18 @@ let mean_taint cfg mode =
   in
   Dvz_util.Stats.mean totals
 
-let run ?(iterations = 400) ?(rng_seed = 17) ?jobs ?(batch = 1) cfg =
+let run ?(telemetry = Campaign.quiet) ?(iterations = 400) ?(rng_seed = 17)
+    ?jobs ?(batch = 1) cfg =
   let campaign mode =
-    Campaign.run ?jobs cfg
+    (* Both mode campaigns share the sink/board; events are labelled so
+       the streams stay separable. *)
+    let telemetry =
+      { telemetry with
+        Campaign.t_events =
+          Dvz_obs.Events.with_context telemetry.Campaign.t_events
+            [ ("mode", Dvz_obs.Json.Str (Dvz_ift.Policy.mode_name mode)) ] }
+    in
+    Campaign.run ~telemetry ?jobs cfg
       { Campaign.default_options with
         Campaign.iterations; rng_seed; taint_mode = mode; batch }
   in

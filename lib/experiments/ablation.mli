@@ -19,10 +19,12 @@ type result = {
 }
 
 val run :
+  ?telemetry:Dejavuzz.Campaign.telemetry ->
   ?iterations:int -> ?rng_seed:int -> ?jobs:int -> ?batch:int ->
   Dvz_uarch.Config.t -> result
 (** [jobs]/[batch] (defaults 1/1) feed both campaigns' in-campaign
     parallelism (modes × in-campaign [jobs]); [jobs] never changes
-    results. *)
+    results.  [telemetry] is shared by both mode campaigns, with a
+    ["mode"] context field distinguishing their event streams. *)
 
 val render : result -> string

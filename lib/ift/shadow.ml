@@ -707,13 +707,20 @@ let step_traced t p =
         cur)
     (N.mems t.nl)
 
-let eval t =
+let eval_impl t =
   match t.prov with
   | Some p -> eval_traced t p
   | None -> (
       match t.engine with
       | `Compiled -> exec_prog t.mode t.prog t.va t.vb t.ta
       | `Interp -> eval_interp t)
+
+(* Armed-guarded like Sim.eval: disarmed shadow cycles stay
+   allocation-free. *)
+let eval t =
+  if Dvz_obs.Profile.armed () then
+    Dvz_obs.Profile.wrap "shadow/eval" (fun () -> eval_impl t)
+  else eval_impl t
 
 let step t =
   (match t.prov with

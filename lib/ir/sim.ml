@@ -362,10 +362,18 @@ let step_compiled t =
     end
   done
 
-let eval t =
+let eval_impl t =
   match t.engine with
   | `Compiled -> exec_prog t.prog t.values
   | `Interp -> eval_interp t
+
+(* Armed-guarded: the disarmed compiled cycle must stay allocation-free
+   (Gc.minor_words gate in test_ir), so the closure only exists on the
+   armed branch. *)
+let eval t =
+  if Dvz_obs.Profile.armed () then
+    Dvz_obs.Profile.wrap "sim/eval" (fun () -> eval_impl t)
+  else eval_impl t
 
 let step t =
   match t.engine with `Compiled -> step_compiled t | `Interp -> step_interp t

@@ -15,6 +15,16 @@ val null : sink
 val to_buffer : Buffer.t -> sink
 val to_channel : out_channel -> sink
 
+val ring : ?cap:int -> unit -> sink
+(** A bounded in-memory ring of the most recent [cap] (default 1024)
+    emitted lines, for serving [/events?n=K] tails without touching the
+    on-disk log. *)
+
+val tee : sink -> sink -> sink
+(** Fans every emitted line out to both sinks.  The line is rendered
+    once with the tee's own context; each leaf appends under its own
+    lock. *)
+
 val with_context : sink -> (string * Json.t) list -> sink
 (** A view of the same sink that appends the given fields to every
     emitted record — how parallel trials label their events (e.g.
@@ -28,5 +38,10 @@ val is_null : sink -> bool
 val emit : sink -> (string * Json.t) list -> unit
 (** Writes the fields (followed by the sink's context fields) as one
     compact JSON object terminated by a newline.  Atomic per line. *)
+
+val recent : sink -> int -> string list
+(** The last [n] lines held by a {!ring} sink, oldest first (fewer if
+    the ring has seen fewer).  On a {!tee}, the first branch holding
+    lines wins; [[]] for other sinks. *)
 
 val flush : sink -> unit

@@ -5,7 +5,10 @@ let overflow_index = n_finite
 
 type counter = { c_value : int Atomic.t }
 
-type gauge = { g_mutex : Mutex.t; mutable g_value : float }
+(* Gauges are a boxed float behind an Atomic so multi-domain writers
+   ([--jobs N] workers updating high-water marks) never lose updates
+   and readers never take a lock. *)
+type gauge = { g_value : float Atomic.t }
 
 type histogram = {
   h_mutex : Mutex.t;
@@ -64,16 +67,18 @@ let counter_value c = Atomic.get c.c_value
 
 let gauge t ?(help = "") name =
   register t name help
-    (fun () -> { g_mutex = Mutex.create (); g_value = 0.0 })
+    (fun () -> { g_value = Atomic.make 0.0 })
     (function Gauge g -> Some g | _ -> None)
     (fun g -> Gauge g)
 
-let set g v = locked g.g_mutex (fun () -> g.g_value <- v)
+let set g v = Atomic.set g.g_value v
 
-let record_max g v =
-  locked g.g_mutex (fun () -> if v > g.g_value then g.g_value <- v)
+let rec record_max g v =
+  let cur = Atomic.get g.g_value in
+  if v > cur && not (Atomic.compare_and_set g.g_value cur v) then
+    record_max g v
 
-let gauge_value g = locked g.g_mutex (fun () -> g.g_value)
+let gauge_value g = Atomic.get g.g_value
 
 let histogram t ?(help = "") name =
   register t name help
@@ -106,15 +111,25 @@ let observe h v =
 let histogram_count h = locked h.h_mutex (fun () -> h.h_count)
 let histogram_sum h = locked h.h_mutex (fun () -> h.h_sum)
 
-type span = { sp_hist : histogram; sp_clock : Clock.t; sp_t0 : float }
+type span = {
+  sp_hist : histogram;
+  sp_clock : Clock.t;
+  sp_t0 : float;
+  sp_frame : Profile.frame option;
+      (* spans double as profiler regions when the profiler is armed,
+         so batch/phase spans show up in trace exports *)
+}
 
 let span_start t name =
   let h = histogram t name in
-  { sp_hist = h; sp_clock = t.r_clock; sp_t0 = Clock.now t.r_clock }
+  let frame = if Profile.armed () then Some (Profile.enter name) else None in
+  { sp_hist = h; sp_clock = t.r_clock; sp_t0 = Clock.now t.r_clock;
+    sp_frame = frame }
 
 let span_stop sp =
   let d = Clock.now sp.sp_clock -. sp.sp_t0 in
   observe sp.sp_hist d;
+  (match sp.sp_frame with Some fr -> Profile.leave fr | None -> ());
   d
 
 let with_span t name f =
@@ -132,7 +147,7 @@ let reset t =
         (fun _ (_, m) ->
           match m with
           | Counter c -> Atomic.set c.c_value 0
-          | Gauge g -> locked g.g_mutex (fun () -> g.g_value <- 0.0)
+          | Gauge g -> Atomic.set g.g_value 0.0
           | Histogram h ->
               locked h.h_mutex (fun () ->
                   Array.fill h.h_counts 0 (Array.length h.h_counts) 0;

@@ -1,0 +1,164 @@
+(* Dependency-free embedded HTTP/1.1 server: one background thread
+   accepting loopback connections, line-parsed GET only, every response
+   closed eagerly.  It exists to serve /metrics, /status, /events and
+   /healthz for a running campaign — handlers read atomic snapshots, so
+   nothing here ever blocks or perturbs the fuzzing hot loop. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = (string * string) list -> response
+
+type t = {
+  sv_sock : Unix.file_descr;
+  sv_port : int;
+  sv_stop : bool Atomic.t;
+  mutable sv_thread : Thread.t option;
+}
+
+let text ?(status = 200) body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+let json ?(status = 200) j =
+  { status; content_type = "application/json"; body = Json.to_string j }
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let write_response fd resp =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      resp.status (status_text resp.status) resp.content_type
+      (String.length resp.body)
+  in
+  let payload = head ^ resp.body in
+  let len = String.length payload in
+  let rec send off =
+    if off < len then
+      let n = Unix.write_substring fd payload off (len - off) in
+      if n > 0 then send (off + n)
+  in
+  send 0
+
+(* Read until the end of the header block (we never accept bodies) or a
+   small cap; returns the first line. *)
+let read_request_line fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then None
+    else
+      let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+      if n = 0 then if Buffer.length buf > 0 then Some (Buffer.contents buf) else None
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        (* A full request line is enough to dispatch. *)
+        if String.contains s '\n' then Some s else go ()
+      end
+  in
+  match go () with
+  | None -> None
+  | Some s -> (
+      match String.index_opt s '\n' with
+      | Some i -> Some (String.trim (String.sub s 0 i))
+      | None -> Some (String.trim s))
+
+let parse_query q =
+  String.split_on_char '&' q
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | Some i ->
+               Some
+                 ( String.sub kv 0 i,
+                   String.sub kv (i + 1) (String.length kv - i - 1) )
+           | None -> Some (kv, ""))
+
+(* "GET /path?k=v HTTP/1.1" -> (meth, path, query assoc) *)
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | meth :: target :: _ ->
+      let path, query =
+        match String.index_opt target '?' with
+        | Some i ->
+            ( String.sub target 0 i,
+              parse_query
+                (String.sub target (i + 1) (String.length target - i - 1)) )
+        | None -> (target, [])
+      in
+      Some (meth, path, query)
+  | _ -> None
+
+let handle routes fd =
+  let resp =
+    match read_request_line fd with
+    | None -> text ~status:400 "bad request\n"
+    | Some line -> (
+        match parse_request_line line with
+        | None -> text ~status:400 "bad request\n"
+        | Some (meth, path, query) ->
+            if meth <> "GET" then text ~status:405 "GET only\n"
+            else (
+              match List.assoc_opt path routes with
+              | None -> text ~status:404 "not found\n"
+              | Some handler -> (
+                  try handler query
+                  with e ->
+                    text ~status:500 (Printexc.to_string e ^ "\n"))))
+  in
+  (try write_response fd resp with _ -> ());
+  (try Unix.close fd with _ -> ())
+
+let accept_loop t routes =
+  while not (Atomic.get t.sv_stop) do
+    match Unix.accept t.sv_sock with
+    | exception _ -> if not (Atomic.get t.sv_stop) then Thread.yield ()
+    | fd, _ ->
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0 with _ -> ());
+        handle routes fd
+  done
+
+let start ?(host = "127.0.0.1") ~port ~routes () =
+  match Unix.inet_addr_of_string host with
+  | exception _ -> Error (Printf.sprintf "Server.start: bad host %S" host)
+  | addr -> (
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      match Unix.bind sock (Unix.ADDR_INET (addr, port)) with
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close sock with _ -> ());
+          Error
+            (Printf.sprintf "Server.start: cannot bind %s:%d: %s" host port
+               (Unix.error_message err))
+      | () ->
+          Unix.listen sock 16;
+          let bound_port =
+            match Unix.getsockname sock with
+            | Unix.ADDR_INET (_, p) -> p
+            | _ -> port
+          in
+          let t =
+            { sv_sock = sock; sv_port = bound_port;
+              sv_stop = Atomic.make false; sv_thread = None }
+          in
+          t.sv_thread <- Some (Thread.create (fun () -> accept_loop t routes) ());
+          Ok t)
+
+let port t = t.sv_port
+
+let stop t =
+  if not (Atomic.exchange t.sv_stop true) then begin
+    (* Closing the listening socket forces the blocked [accept] in the
+       server thread to fail, which is its exit signal. *)
+    (try Unix.shutdown t.sv_sock Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.close t.sv_sock with _ -> ());
+    match t.sv_thread with Some th -> Thread.join th | None -> ()
+  end

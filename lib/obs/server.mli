@@ -1,0 +1,35 @@
+(** Minimal embedded HTTP/1.1 status server.
+
+    One background thread accepts loopback connections and serves
+    line-parsed [GET] requests against a fixed route table, closing each
+    connection after one response.  Handlers run on the server thread
+    and must only read published snapshots — the campaign hot loop
+    never blocks on them.  No third-party dependency; just [Unix] and
+    [Thread]. *)
+
+type t
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = (string * string) list -> response
+(** Receives the decoded query parameters (e.g. [("n", "50")]).
+    Exceptions become a 500 response. *)
+
+val text : ?status:int -> string -> response
+val json : ?status:int -> Json.t -> response
+
+val start :
+  ?host:string ->
+  port:int ->
+  routes:(string * handler) list ->
+  unit ->
+  (t, string) result
+(** Binds [host] (default loopback) on [port] ([0] = ephemeral; see
+    {!port} for the bound value) and starts the accept thread.  Routing
+    is by exact path; unknown paths get 404, non-GET methods 405. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Signals the accept thread, closes the listening socket and joins.
+    Idempotent. *)

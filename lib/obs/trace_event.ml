@@ -1,0 +1,54 @@
+(* Chrome trace_event ("Trace Event Format") export of recorded
+   profiler regions: complete ("X") events with microsecond timestamps
+   relative to the earliest region, one track (tid) per worker domain,
+   named via "M"/thread_name metadata so Perfetto and chrome://tracing
+   label the rows. *)
+
+let us_of_s s = int_of_float (Float.round (s *. 1e6))
+
+let complete_event ~base (ev : Profile.event) =
+  Json.Obj
+    [ ("name", Json.Str ev.Profile.ev_name);
+      ("cat", Json.Str "dvz");
+      ("ph", Json.Str "X");
+      ("ts", Json.Int (us_of_s (ev.Profile.ev_start -. base)));
+      ("dur", Json.Int (max 1 (us_of_s ev.Profile.ev_dur)));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.Profile.ev_tid);
+      ("args", Json.Obj [ ("path", Json.Str ev.Profile.ev_path) ]) ]
+
+let thread_meta tid =
+  let name = if tid = 0 then "worker-0 (orchestrator)" else Printf.sprintf "worker-%d" tid in
+  Json.Obj
+    [ ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+
+let to_json events =
+  let base =
+    List.fold_left
+      (fun acc ev -> Float.min acc ev.Profile.ev_start)
+      infinity events
+  in
+  let base = if Float.is_finite base then base else 0.0 in
+  let tids =
+    List.sort_uniq compare (List.map (fun ev -> ev.Profile.ev_tid) events)
+  in
+  Json.Obj
+    [ ( "traceEvents",
+        Json.Arr
+          (List.map thread_meta tids
+          @ List.map (complete_event ~base) events) );
+      ("displayTimeUnit", Json.Str "ms") ]
+
+let render events = Json.to_string (to_json events)
+
+let write_file path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (render events);
+      output_char oc '\n')

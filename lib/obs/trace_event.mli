@@ -1,0 +1,14 @@
+(** Chrome [trace_event] export.
+
+    Renders the profiler's recorded regions ({!Profile.events}) as a
+    Perfetto/chrome://tracing-loadable JSON object: complete ["X"]
+    events on one track per worker domain (tid = the worker index set
+    via {!Profile.set_tid}), plus ["M"] thread-name metadata.
+    Timestamps are microseconds relative to the earliest recorded
+    region. *)
+
+val to_json : Profile.event list -> Json.t
+val render : Profile.event list -> string
+
+val write_file : string -> Profile.event list -> unit
+(** Writes {!render} (plus a trailing newline) to [path]. *)

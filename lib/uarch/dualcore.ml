@@ -1,5 +1,6 @@
 open Dvz_soc
 module Metrics = Dvz_obs.Metrics
+module Profile = Dvz_obs.Profile
 
 let m_runs =
   Metrics.counter Metrics.default ~help:"Dual-DUT simulations completed"
@@ -147,7 +148,7 @@ let push_log t e =
       t.log_len <- t.log_len + 1
     end
 
-let step t =
+let step_impl t =
   (match Dvz_resilience.Fault.tick ~cycle:t.slots with
   | `Ok -> ()
   | `Hang -> t.hung <- true
@@ -183,6 +184,12 @@ let step t =
     t.slots <- t.slots + 1;
     not (Core.is_done t.core_a && Core.is_done t.core_b)
   end
+
+(* Armed-guarded so the disarmed simulation loop allocates nothing for
+   the probe. *)
+let step t =
+  if Profile.armed () then Profile.wrap "dualcore/step" (fun () -> step_impl t)
+  else step_impl t
 
 let collect t =
   let final = Taintstate.tainted_elems t.taint in

@@ -1,4 +1,5 @@
 module Metrics = Dvz_obs.Metrics
+module Profile = Dvz_obs.Profile
 
 let m_tasks =
   Metrics.counter Metrics.default
@@ -98,8 +99,14 @@ let map ?domains ?retry:policy f xs =
     let worker idx () =
       let saved = Domain.DLS.get worker_key in
       Domain.DLS.set worker_key idx;
+      (* Mirror the worker slot into the profiler's track id so region
+         events from this domain land on a per-worker trace track. *)
+      let saved_tid = Profile.tid () in
+      Profile.set_tid idx;
       Fun.protect
-        ~finally:(fun () -> Domain.DLS.set worker_key saved)
+        ~finally:(fun () ->
+          Profile.set_tid saved_tid;
+          Domain.DLS.set worker_key saved)
         (fun () ->
           let m_dom = domain_counter idx in
           let rec go () =
@@ -120,10 +127,18 @@ let map ?domains ?retry:policy f xs =
           go ())
     in
     let spawned =
-      List.init (min domains (n - 1)) (fun i -> Domain.spawn (worker (i + 1)))
+      if Profile.armed () then
+        Profile.wrap "parallel/dispatch" (fun () ->
+            List.init (min domains (n - 1)) (fun i ->
+                Domain.spawn (worker (i + 1))))
+      else
+        List.init (min domains (n - 1)) (fun i ->
+            Domain.spawn (worker (i + 1)))
     in
     worker 0 ();
-    List.iter Domain.join spawned;
+    if Profile.armed () then
+      Profile.wrap "parallel/drain" (fun () -> List.iter Domain.join spawned)
+    else List.iter Domain.join spawned;
     Array.iter
       (function
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt

@@ -7,6 +7,9 @@ module Metrics = Dvz_obs.Metrics
 module Events = Dvz_obs.Events
 module Json = Dvz_obs.Json
 module Exporters = Dvz_obs.Exporters
+module Profile = Dvz_obs.Profile
+module Server = Dvz_obs.Server
+module Trace_event = Dvz_obs.Trace_event
 module Campaign = Dejavuzz.Campaign
 module Cfg = Dvz_uarch.Config
 
@@ -376,7 +379,8 @@ let buffer_telemetry ?(progress_every = 0) () =
       t_metrics = Metrics.create ~clock:(Clock.fake ~step:0.001 ()) ();
       t_progress_every = progress_every;
       t_progress = (fun l -> lines := l :: !lines);
-      t_explain_dir = None }
+      t_explain_dir = None;
+      t_board = None }
   in
   (tel, buf, lines)
 
@@ -502,6 +506,327 @@ let test_taint_log_sampled_by_slot () =
   Alcotest.(check bool) "final slot 11 always kept" true
     (contains out "slot 11")
 
+(* --- events: ring and tee -------------------------------------------------- *)
+
+let test_ring_and_tee () =
+  let ring = Events.ring ~cap:4 () in
+  Alcotest.(check bool) "ring is not null" false (Events.is_null ring);
+  for i = 1 to 6 do
+    Events.emit ring [ ("i", Json.Int i) ]
+  done;
+  Alcotest.(check (list string)) "tail is oldest-first"
+    [ "{\"i\":5}"; "{\"i\":6}" ]
+    (Events.recent ring 2);
+  Alcotest.(check int) "tail capped at ring size" 4
+    (List.length (Events.recent ring 99));
+  Alcotest.(check (list string)) "non-ring sinks hold no tail" []
+    (Events.recent Events.null 5);
+  let buf = Buffer.create 64 in
+  let t = Events.tee (Events.to_buffer buf) ring in
+  Events.emit
+    (Events.with_context t [ ("ctx", Json.Int 1) ])
+    [ ("x", Json.Int 0) ];
+  Alcotest.(check string) "tee reaches the buffer branch"
+    "{\"x\":0,\"ctx\":1}\n" (Buffer.contents buf);
+  Alcotest.(check (list string)) "tee reaches the ring branch"
+    [ "{\"x\":0,\"ctx\":1}" ]
+    (Events.recent t 1);
+  Alcotest.(check bool) "tee of nulls is null" true
+    (Events.is_null (Events.tee Events.null Events.null));
+  Alcotest.(check bool) "tee with one live branch is live" false
+    (Events.is_null (Events.tee Events.null ring))
+
+(* --- metrics: multi-domain safety ------------------------------------------ *)
+
+let test_metrics_domain_safety () =
+  (* Counters and high-water gauges take concurrent updates from worker
+     domains (--jobs N); no increment may be lost, and record_max must
+     keep the exact maximum across all domains. *)
+  let r = Metrics.create () in
+  let c = Metrics.counter r "stress_c" in
+  let g = Metrics.gauge r "stress_g" in
+  let doms = 4 and per = 20_000 in
+  let worker d () =
+    for i = 1 to per do
+      Metrics.incr c;
+      Metrics.record_max g (float_of_int ((d * per) + i))
+    done
+  in
+  let spawned = List.init doms (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "no lost increments" (doms * per)
+    (Metrics.counter_value c);
+  Alcotest.(check (float 0.0)) "high-water exact" (float_of_int (doms * per))
+    (Metrics.gauge_value g)
+
+(* --- profiler --------------------------------------------------------------- *)
+
+let with_profiler ?(trace = false) f =
+  Profile.arm ~clock:(Clock.fake ()) ~trace ();
+  Profile.reset ();
+  Fun.protect ~finally:(fun () -> Profile.disarm ()) f
+
+(* Self-time arithmetic: on the fake clock every region costs exactly two
+   ticks of its own, so for every aggregate entry
+   total = self + Σ (direct children totals), exactly. *)
+let prop_profile_self_time =
+  QCheck.Test.make ~name:"profiler self-times sum to parent totals" ~count:25
+    QCheck.small_int (fun seed ->
+      with_profiler (fun () ->
+          let rng = Dvz_util.Rng.create (seed + 3) in
+          let names = [| "a"; "b"; "c" |] in
+          let rec build depth =
+            Profile.wrap names.(Dvz_util.Rng.int rng 3) (fun () ->
+                let kids = if depth >= 3 then 0 else Dvz_util.Rng.int rng 3 in
+                for _ = 1 to kids do
+                  build (depth + 1)
+                done)
+          in
+          for _ = 1 to 1 + Dvz_util.Rng.int rng 4 do
+            build 0
+          done;
+          let entries = Profile.snapshot () in
+          let direct_child e c =
+            let prefix = e.Profile.pf_path ^ "/" in
+            c.Profile.pf_depth = e.Profile.pf_depth + 1
+            && String.length c.Profile.pf_path > String.length prefix
+            && String.sub c.Profile.pf_path 0 (String.length prefix) = prefix
+          in
+          entries <> []
+          && List.for_all
+               (fun e ->
+                 let child_total =
+                   List.fold_left
+                     (fun acc c ->
+                       if direct_child e c then acc +. c.Profile.pf_total_s
+                       else acc)
+                     0.0 entries
+                 in
+                 Float.abs
+                   (e.Profile.pf_total_s -. (e.Profile.pf_self_s +. child_total))
+                 < 1e-9
+                 && e.Profile.pf_self_s >= 0.0
+                 && e.Profile.pf_max_s <= e.Profile.pf_total_s +. 1e-9)
+               entries))
+
+let test_profile_aggregation_counts () =
+  with_profiler (fun () ->
+      Profile.wrap "outer" (fun () ->
+          Profile.wrap "inner" (fun () -> ());
+          Profile.wrap "inner" (fun () -> ()));
+      let entries = Profile.snapshot () in
+      let find path =
+        match
+          List.find_opt (fun e -> e.Profile.pf_path = path) entries
+        with
+        | Some e -> e
+        | None -> Alcotest.failf "no entry for %s" path
+      in
+      let outer = find "outer" and inner = find "outer/inner" in
+      Alcotest.(check int) "outer once" 1 outer.Profile.pf_count;
+      Alcotest.(check int) "inner twice" 2 inner.Profile.pf_count;
+      Alcotest.(check int) "inner nested one deep" 1 inner.Profile.pf_depth;
+      (* tick clock: every read advances by one, so outer reads t=0 and
+         t=5 (duration 5) around two inner regions of duration 1 each *)
+      Alcotest.(check (float 0.0)) "outer total" 5.0 outer.Profile.pf_total_s;
+      Alcotest.(check (float 0.0)) "inner total" 2.0 inner.Profile.pf_total_s;
+      Alcotest.(check (float 0.0)) "outer self" 3.0 outer.Profile.pf_self_s;
+      (* the table and JSON artifact carry every region *)
+      let table = Profile.render_table entries in
+      Alcotest.(check bool) "table mentions inner" true
+        (contains table "inner");
+      match Profile.to_json entries with
+      | Json.Obj fields ->
+          Alcotest.(check (option string)) "artifact schema"
+            (Some "dvz-profile/1")
+            (Option.bind (List.assoc_opt "schema" fields) Json.to_str)
+      | _ -> Alcotest.fail "profile artifact not an object")
+
+let test_profile_disarmed_probe_allocation_free () =
+  (* The recommended hot-path pattern must not allocate while disarmed:
+     the closure sits on the armed branch only.  A small budget absorbs
+     the Gc.minor_words float boxes themselves. *)
+  Profile.disarm ();
+  let sink = ref 0 in
+  let f () = incr sink in
+  let probe () = if Profile.armed () then Profile.wrap "x" f else f () in
+  for _ = 1 to 100 do probe () done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    probe ()
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "disarmed probes allocation-free (%.0f words)" dw)
+    true (dw < 256.0)
+
+let test_trace_event_export_valid () =
+  with_profiler ~trace:true (fun () ->
+      Profile.set_tid 0;
+      Profile.wrap "outer" (fun () -> Profile.wrap "inner" (fun () -> ()));
+      Profile.set_tid 2;
+      Profile.wrap "worker-work" (fun () -> ());
+      Profile.set_tid 0;
+      let evs = Profile.events () in
+      Alcotest.(check int) "three regions recorded" 3 (List.length evs);
+      Alcotest.(check int) "nothing dropped" 0 (Profile.events_dropped ());
+      match Json.of_string (Trace_event.render evs) with
+      | Error e -> Alcotest.failf "trace not valid JSON: %s" e
+      | Ok j -> (
+          match Json.member "traceEvents" j with
+          | Some (Json.Arr items) ->
+              (* 2 thread-name metadata records + 3 complete events *)
+              Alcotest.(check int) "metas + events" 5 (List.length items);
+              let ph it =
+                Option.bind (Json.member "ph" it) Json.to_str
+              in
+              Alcotest.(check bool) "only X and M phases" true
+                (List.for_all
+                   (fun it -> ph it = Some "X" || ph it = Some "M")
+                   items);
+              let xs = List.filter (fun it -> ph it = Some "X") items in
+              Alcotest.(check bool) "X events carry ts/dur/pid/tid" true
+                (List.for_all
+                   (fun it ->
+                     let geti k =
+                       Option.bind (Json.member k it) Json.to_int
+                     in
+                     (match geti "ts" with Some t -> t >= 0 | None -> false)
+                     && (match geti "dur" with
+                        | Some d -> d >= 1
+                        | None -> false)
+                     && geti "pid" = Some 1
+                     && match geti "tid" with
+                        | Some t -> t = 0 || t = 2
+                        | None -> false)
+                   xs)
+          | _ -> Alcotest.fail "traceEvents missing"))
+
+(* --- live status server ----------------------------------------------------- *)
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\n\r\n" path
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 and chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then (
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ())
+      in
+      (try drain () with End_of_file -> ());
+      Buffer.contents buf)
+
+let split_response raw =
+  let len = String.length raw in
+  let rec find i =
+    if i + 4 > len then Alcotest.fail "no header/body separator"
+    else if String.sub raw i 4 = "\r\n\r\n" then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  (String.sub raw 0 i, String.sub raw (i + 4) (len - i - 4))
+
+let test_live_server_endpoints () =
+  (* Run a short campaign that publishes to a board and a ring, then
+     serve the exact routes the CLI wires up and check every endpoint
+     over a real loopback socket on an ephemeral port. *)
+  let board = Campaign.new_board () in
+  let ring = Events.ring ~cap:64 () in
+  let registry = Metrics.create ~clock:(Clock.fake ~step:0.001 ()) () in
+  let tel =
+    { Campaign.quiet with
+      Campaign.t_events = ring;
+      t_metrics = registry;
+      t_board = Some board }
+  in
+  ignore (Campaign.run ~telemetry:tel boom (small_options 5 2));
+  let routes =
+    [ ("/healthz", fun _ -> Server.text "ok\n");
+      ( "/status",
+        fun _ ->
+          match Campaign.board_read board with
+          | Some p -> Server.json (Campaign.progress_json p)
+          | None -> Server.json (Json.Obj [ ("phase", Json.Str "starting") ])
+      );
+      ( "/metrics",
+        fun _ ->
+          { Server.status = 200;
+            content_type = "text/plain; version=0.0.4";
+            body = Exporters.prometheus registry } );
+      ( "/events",
+        fun query ->
+          let n =
+            match List.assoc_opt "n" query with
+            | Some s -> ( try int_of_string s with Failure _ -> 5)
+            | None -> 5
+          in
+          Server.text (String.concat "\n" (Events.recent ring n) ^ "\n") ) ]
+  in
+  match Server.start ~port:0 ~routes () with
+  | Error e -> Alcotest.failf "server did not start: %s" e
+  | Ok srv ->
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv)
+        (fun () ->
+          let port = Server.port srv in
+          let headers, body = split_response (http_get port "/healthz") in
+          Alcotest.(check bool) "healthz 200" true (contains headers " 200 ");
+          Alcotest.(check string) "healthz body" "ok\n" body;
+          let sheaders, sbody = split_response (http_get port "/status") in
+          Alcotest.(check bool) "status 200" true (contains sheaders " 200 ");
+          Alcotest.(check bool) "status is json" true
+            (contains sheaders "application/json");
+          (match Json.of_string sbody with
+          | Error e -> Alcotest.failf "/status not JSON: %s" e
+          | Ok j ->
+              let stri k = Option.bind (Json.member k j) Json.to_str in
+              let inti k = Option.bind (Json.member k j) Json.to_int in
+              Alcotest.(check (option string)) "phase" (Some "finished")
+                (stri "phase");
+              Alcotest.(check (option int)) "iteration" (Some 5)
+                (inti "iteration");
+              Alcotest.(check (option int)) "total" (Some 5) (inti "total");
+              List.iter
+                (fun key ->
+                  if Json.member key j = None then
+                    Alcotest.failf "/status missing %s" key)
+                [ "core"; "findings"; "triggered"; "coverage"; "corpus_size";
+                  "top_rewards"; "harness_crashes"; "watchdog_timeouts";
+                  "sim_cycles"; "batches"; "jobs"; "domain_iterations";
+                  "elapsed_s"; "eta_s" ];
+              match Json.member "domain_iterations" j with
+              | Some (Json.Arr (_ :: _)) -> ()
+              | _ -> Alcotest.fail "domain_iterations not a non-empty array");
+          let mheaders, mbody = split_response (http_get port "/metrics") in
+          Alcotest.(check bool) "metrics 200" true (contains mheaders " 200 ");
+          Alcotest.(check bool) "metrics exposition format" true
+            (contains mheaders "text/plain; version=0.0.4");
+          Alcotest.(check bool) "metrics has TYPE comments" true
+            (contains mbody "# TYPE");
+          Alcotest.(check bool) "campaign counters exported" true
+            (contains mbody "dvz_campaign_iterations_total 5");
+          let _, ebody = split_response (http_get port "/events?n=2") in
+          (match Json.of_lines ebody with
+          | Ok evs ->
+              Alcotest.(check int) "two tail events" 2 (List.length evs);
+              Alcotest.(check (option string)) "tail ends with campaign_end"
+                (Some "campaign_end")
+                (Option.bind
+                   (Json.member "type" (List.nth evs 1))
+                   Json.to_str)
+          | Error e -> Alcotest.failf "/events tail not JSONL: %s" e);
+          let nheaders, _ = split_response (http_get port "/nope") in
+          Alcotest.(check bool) "unknown path is 404" true
+            (contains nheaders " 404 "))
+
 (* --- parallel map counters ------------------------------------------------ *)
 
 let test_parallel_task_counters () =
@@ -530,7 +855,20 @@ let () =
         [ Alcotest.test_case "roundtrip and escapes" `Quick test_json_roundtrip ] );
       ( "events",
         [ Alcotest.test_case "sinks and context" `Quick
-            test_events_sink_and_context ] );
+            test_events_sink_and_context;
+          Alcotest.test_case "ring tails and tee fan-out" `Quick
+            test_ring_and_tee ] );
+      ( "profile",
+        [ QCheck_alcotest.to_alcotest prop_profile_self_time;
+          Alcotest.test_case "aggregation counts and artifact" `Quick
+            test_profile_aggregation_counts;
+          Alcotest.test_case "disarmed probes allocation-free" `Quick
+            test_profile_disarmed_probe_allocation_free;
+          Alcotest.test_case "trace-event export is valid" `Quick
+            test_trace_event_export_valid ] );
+      ( "server",
+        [ Alcotest.test_case "live endpoints on an ephemeral port" `Quick
+            test_live_server_endpoints ] );
       ( "exporters",
         [ Alcotest.test_case "prometheus escaping" `Quick
             test_prometheus_render_escaping;
@@ -561,4 +899,6 @@ let () =
           Alcotest.test_case "taint log sampled by slot" `Quick
             test_taint_log_sampled_by_slot ] );
       ( "parallel",
-        [ Alcotest.test_case "task counters" `Quick test_parallel_task_counters ] ) ]
+        [ Alcotest.test_case "task counters" `Quick test_parallel_task_counters;
+          Alcotest.test_case "metrics domain safety" `Quick
+            test_metrics_domain_safety ] ) ]

@@ -528,6 +528,60 @@ let test_campaign_kill_and_resume_parallel () =
     (List.exists (fun ev -> jstr "type" ev = Some "resume") revents);
   Sys.remove ck
 
+let test_campaign_kill_flushes_event_log () =
+  (* A campaign killed mid-run must not lose the buffered tail of its
+     JSONL event log: the abnormal-exit path flushes the sink before the
+     fault propagates, so every folded iteration is on disk when the
+     process dies.  Resume from the checkpoint afterwards to close the
+     loop. *)
+  let options = base_options 30 3 in
+  let reference, events = run_with_events options in
+  let k = find_quiet_triggered ~min_iter:11 events in
+  let ck = temp_path "dvz_flush" in
+  let log = Filename.temp_file "dvz_flush" ".jsonl" in
+  let oc = open_out log in
+  let telemetry =
+    { Campaign.quiet with Campaign.t_events = Events.to_channel oc }
+  in
+  let kill_rz =
+    { Campaign.no_resilience with
+      Campaign.rz_checkpoint = Some ck;
+      rz_checkpoint_every = 10;
+      rz_fault_plan =
+        [ { Fault.f_iteration = k; f_cycle = 0; f_action = Fault.Kill "die" } ] }
+  in
+  (match Campaign.run ~telemetry ~resilience:kill_rz boom options with
+  | _ -> Alcotest.fail "injected kill did not propagate"
+  | exception Fault.Killed _ -> ());
+  (* Read the file NOW, before closing the channel: only the flush on
+     the campaign's abnormal-exit path can have written the tail. *)
+  let written = In_channel.with_open_bin log In_channel.input_all in
+  close_out oc;
+  (match Json.of_lines written with
+  | Error e -> Alcotest.failf "killed log not valid JSONL: %s" e
+  | Ok evs ->
+      let last_folded =
+        List.fold_left
+          (fun acc ev ->
+            match (jstr "type" ev, jint "iteration" ev) with
+            | Some "iteration", Some i -> max acc i
+            | _ -> acc)
+          0 evs
+      in
+      Alcotest.(check int) "every iteration before the kill is on disk"
+        (k - 1) last_folded);
+  let resume_rz =
+    { Campaign.no_resilience with
+      Campaign.rz_checkpoint = Some ck;
+      rz_checkpoint_every = 10;
+      rz_resume = Some ck }
+  in
+  let resumed, _ = run_with_events ~resilience:resume_rz options in
+  Alcotest.(check bool) "kill+resume still bit-identical" true
+    (resumed = reference);
+  Sys.remove ck;
+  Sys.remove log
+
 let test_campaign_resume_missing_file_starts_fresh () =
   let options = base_options 12 4 in
   let reference = Campaign.run boom options in
@@ -647,6 +701,8 @@ let () =
             test_campaign_kill_and_resume_bit_identical;
           Alcotest.test_case "kill and resume under jobs" `Quick
             test_campaign_kill_and_resume_parallel;
+          Alcotest.test_case "kill flushes the event log" `Quick
+            test_campaign_kill_flushes_event_log;
           Alcotest.test_case "resume missing file" `Quick
             test_campaign_resume_missing_file_starts_fresh;
           Alcotest.test_case "resume rejects mismatch" `Quick
