@@ -156,8 +156,10 @@ let obs_t =
 
 (* Arms the profiler / status server around [k], rewiring the telemetry so
    the campaign publishes to them, and emits the end-of-run artifacts.
-   Everything here observes the campaign; nothing feeds back into it. *)
-let with_obs obs telemetry k =
+   Everything here observes the campaign; nothing feeds back into it.
+   [fleet_board] adds a /fleet route serving the coordinator's live
+   per-worker supervision snapshot. *)
+let with_obs ?fleet_board obs telemetry k =
   let profiling =
     obs.ob_profile || obs.ob_profile_json <> None || obs.ob_trace_out <> None
   in
@@ -210,6 +212,20 @@ let with_obs obs telemetry k =
                     (match lines with
                     | [] -> ""
                     | _ -> String.concat "\n" lines ^ "\n") } ) ]
+          @
+          match fleet_board with
+          | None -> []
+          | Some fb ->
+              [ ( "/fleet",
+                  fun _ ->
+                    match Dvz_fleet.Coordinator.board_read fb with
+                    | Some s ->
+                        Dvz_obs.Server.json
+                          (Dvz_fleet.Coordinator.snapshot_json s)
+                    | None ->
+                        Dvz_obs.Server.json
+                          (Dvz_obs.Json.Obj
+                             [ ("phase", Dvz_obs.Json.Str "starting") ]) ) ]
         in
         (match Dvz_obs.Server.start ~port ~routes () with
         | Error e ->
@@ -294,7 +310,10 @@ let crash_dir_t =
            ~doc:"Write one crash-NNNN.json artifact (input seed, \
                  exception, backtrace) per isolated harness crash.")
 
-let resilience_t =
+(* Returns the resilience record plus the raw watchdog limits: the
+   budget value is opaque, but the fleet coordinator must ship the
+   limits to worker processes, which rebuild their own budgets. *)
+let resilience_full_t =
   let build checkpoint every resume faults max_slots max_seconds crash_dir =
     let plan =
       List.concat_map
@@ -306,22 +325,26 @@ let resilience_t =
               exit 1)
         faults
     in
+    let max_slots = if max_slots <= 0 then None else Some max_slots in
     let budget =
-      let max_slots = if max_slots <= 0 then None else Some max_slots in
       match (max_slots, max_seconds) with
       | None, None -> None
       | _ ->
           Some (Dvz_uarch.Dualcore.budget ?max_slots ?max_wall_s:max_seconds ())
     in
-    { Campaign.rz_fault_plan = plan;
-      rz_budget = budget;
-      rz_checkpoint = checkpoint;
-      rz_checkpoint_every = every;
-      rz_resume = resume;
-      rz_crash_dir = crash_dir }
+    ( { Campaign.rz_fault_plan = plan;
+        rz_budget = budget;
+        rz_checkpoint = checkpoint;
+        rz_checkpoint_every = every;
+        rz_checkpoint_keep = false;
+        rz_resume = resume;
+        rz_crash_dir = crash_dir },
+      (max_slots, max_seconds) )
   in
   Term.(const build $ checkpoint_t $ checkpoint_every_t $ resume_t $ fault_t
         $ max_slots_t $ max_seconds_t $ crash_dir_t)
+
+let resilience_t = Term.(const fst $ resilience_full_t)
 
 (* --- campaign engine parallelism ------------------------------------------ *)
 
@@ -342,7 +365,10 @@ let batch_t =
                  by up to K-1 iterations), unlike --jobs.")
 
 (* Injected kills model the harness process dying: distinct exit code so
-   scripts (and CI) can tell "killed, resume me" from real errors. *)
+   scripts (and CI) can tell "killed, resume me" from real errors.
+   Likewise a corrupt/truncated --resume checkpoint gets its own code —
+   "restore or delete the snapshot" is a different operator action than
+   "fix the flags". *)
 let handle_faults k =
   try k () with
   | Dvz_resilience.Fault.Killed { iteration; cycle; _ } ->
@@ -350,6 +376,11 @@ let handle_faults k =
         "dejavuzz: killed by injected fault at iteration %d, cycle %d\n"
         iteration cycle;
       exit 3
+  | Campaign.Bad_checkpoint { bc_path; bc_reason; bc_advice } ->
+      Printf.eprintf "dejavuzz: %s\n"
+        (Campaign.bad_checkpoint_message ~path:bc_path ~reason:bc_reason
+           ~advice:bc_advice);
+      exit 4
   | Invalid_argument msg | Failure msg ->
       Printf.eprintf "dejavuzz: %s\n" msg;
       exit 1
@@ -392,6 +423,164 @@ let fuzz_cmd =
           $ no_coverage $ telemetry_t $ progress_t $ progress_every_t
           $ metrics_t $ resilience_t $ explain_dir_t $ jobs_t $ batch_t
           $ obs_t)
+
+(* --- fleet mode ------------------------------------------------------------ *)
+
+let workers_t =
+  Arg.(value & opt int 4
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker subprocesses to supervise (0 runs everything in \
+                 the coordinator).  Like --jobs, an execution resource: \
+                 fleet findings, corpus, checkpoints and event streams \
+                 are byte-identical to a single-process --jobs 1 run \
+                 with the same --batch.")
+
+let worker_jobs_t =
+  Arg.(value & opt int 1
+       & info [ "worker-jobs" ] ~docv:"N"
+           ~doc:"Worker domains each subprocess spends on its shard.")
+
+let heartbeat_t =
+  Arg.(value & opt float 1.0
+       & info [ "heartbeat-s" ] ~docv:"S"
+           ~doc:"Worker heartbeat interval in seconds.")
+
+let deadline_t =
+  Arg.(value & opt float 10.0
+       & info [ "heartbeat-deadline-s" ] ~docv:"S"
+           ~doc:"Declare a worker dead after S seconds of silence (it is \
+                 killed and respawned with capped exponential backoff).")
+
+let max_respawns_t =
+  Arg.(value & opt int 5
+       & info [ "max-respawns" ] ~docv:"K"
+           ~doc:"Deaths tolerated per worker slot; beyond K the slot is \
+                 retired and its shard redistributed (the fleet shrinks \
+                 instead of aborting).")
+
+let chaos_kill_t =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ e; w ] -> (
+        match (int_of_string_opt e, int_of_string_opt w) with
+        | Some epoch, Some slot when epoch >= 0 && slot >= 0 ->
+            Ok (epoch, slot, Sys.sigkill)
+        | _ -> Error (`Msg "chaos-kill: expected EPOCH:SLOT"))
+    | _ -> Error (`Msg "chaos-kill: expected EPOCH:SLOT")
+  in
+  let print fmt (e, w, _) = Format.fprintf fmt "%d:%d" e w in
+  Arg.(value & opt_all (conv (parse, print)) []
+       & info [ "chaos-kill" ] ~docv:"EPOCH:SLOT"
+           ~doc:"Self-test hook: SIGKILL worker SLOT right after batch \
+                 EPOCH is assigned (repeatable).  The campaign must \
+                 complete with identical results anyway — this is how CI \
+                 gates the supervision path.")
+
+let fleet_cmd =
+  let run cfg iterations rng_seed random_training no_coverage telemetry_file
+      progress progress_every metrics (resilience, budget_limits) explain_dir
+      batch obs workers worker_jobs heartbeat_s deadline_s max_respawns chaos =
+    handle_faults (fun () ->
+        let options =
+          { Campaign.default_options with
+            Campaign.iterations; rng_seed; batch;
+            style = (if random_training then `Random else `Derived);
+            coverage_guided = not no_coverage }
+        in
+        let fleet_board = Dvz_fleet.Coordinator.new_board () in
+        let opts =
+          { Dvz_fleet.Coordinator.default_opts with
+            Dvz_fleet.Coordinator.fl_workers = workers;
+            fl_worker_jobs = worker_jobs;
+            fl_heartbeat_s = heartbeat_s;
+            fl_deadline_s = deadline_s;
+            fl_max_respawns = max_respawns;
+            fl_chaos = chaos }
+        in
+        let stats, fstats =
+          with_telemetry ?explain_dir telemetry_file progress progress_every
+            (fun telemetry ->
+              with_obs ~fleet_board obs telemetry (fun telemetry ->
+                  Dvz_fleet.Coordinator.run ~telemetry ~resilience
+                    ~board:fleet_board ~budget_limits opts cfg options))
+        in
+        print_string (Dejavuzz.Report.summary stats);
+        print_string
+          (Dejavuzz.Report.table5 ~core_name:cfg.Cfg.name
+             stats.Campaign.s_findings);
+        (* Supervision summary on stderr: stdout stays byte-identical to
+           the single-process run (the determinism contract CI diffs). *)
+        Printf.eprintf
+          "dejavuzz fleet: workers=%d spawns=%d restarts=%d retired=%d \
+           heartbeats_missed=%d inline_plans=%d\n"
+          fstats.Dvz_fleet.Coordinator.fs_workers
+          fstats.Dvz_fleet.Coordinator.fs_spawns
+          fstats.Dvz_fleet.Coordinator.fs_restarts
+          fstats.Dvz_fleet.Coordinator.fs_retired
+          fstats.Dvz_fleet.Coordinator.fs_heartbeats_missed
+          fstats.Dvz_fleet.Coordinator.fs_inline_plans;
+        dump_metrics metrics)
+  in
+  let random_training =
+    Arg.(value & flag
+         & info [ "random-training" ]
+             ~doc:"DejaVuzz* ablation: random training packets.")
+  in
+  let no_coverage =
+    Arg.(value & flag
+         & info [ "no-coverage" ]
+             ~doc:"DejaVuzz- ablation: disable taint-coverage feedback.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Run a campaign on a supervised multi-process worker fleet."
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Spawns $(b,--workers) subprocesses and shards each \
+               scheduled batch of iterations across them, supervising \
+               with heartbeat deadlines, capped-exponential-backoff \
+               respawns and per-slot retirement.  All campaign state \
+               (corpus, coverage, finding dedup, checkpoints, events) \
+               stays in the coordinator, so worker deaths cost only \
+               re-executed iterations: findings, corpus and event \
+               streams are byte-identical to $(b,dejavuzz fuzz --jobs 1) \
+               with the same flags.  Use $(b,--batch) of at least the \
+               worker count to keep every worker busy." ])
+    Term.(const run $ core_t $ iterations_t 500 $ seed_t $ random_training
+          $ no_coverage $ telemetry_t $ progress_t $ progress_every_t
+          $ metrics_t $ resilience_full_t $ explain_dir_t $ batch_t $ obs_t
+          $ workers_t $ worker_jobs_t $ heartbeat_t $ deadline_t
+          $ max_respawns_t $ chaos_kill_t)
+
+(* The hidden child entrypoint: the coordinator re-execs this binary as
+   [dejavuzz worker --slot K] with the protocol on stdin/stdout.  Not
+   meant for humans; it prints nothing to stdout (that is the pipe). *)
+let worker_cmd =
+  let run slot =
+    match
+      Dvz_fleet.Worker.main
+        ~log:(fun line -> Printf.eprintf "dejavuzz worker %d: %s\n%!" slot line)
+        ~slot ~in_fd:Unix.stdin ~out_fd:Unix.stdout ()
+    with
+    | () -> ()
+    | exception Dvz_resilience.Fault.Killed { iteration; cycle; _ } ->
+        Printf.eprintf
+          "dejavuzz worker %d: killed by injected fault at iteration %d, \
+           cycle %d\n"
+          slot iteration cycle;
+        exit 3
+    | exception Failure msg ->
+        Printf.eprintf "dejavuzz worker %d: %s\n" slot msg;
+        exit 2
+  in
+  let slot =
+    Arg.(value & opt int 0 & info [ "slot" ] ~docv:"K" ~doc:"Worker slot index.")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"(internal) Fleet worker child; speaks the DVZF pipe protocol \
+             on stdin/stdout.  Spawned by 'dejavuzz fleet'.")
+    Term.(const run $ slot)
 
 let table2_cmd =
   Cmd.v
@@ -681,8 +870,8 @@ let replay_log_cmd =
 let main =
   let doc = "DejaVuzz: transient-execution bug fuzzing (OCaml reproduction)" in
   Cmd.group (Cmd.info "dejavuzz" ~doc)
-    [ fuzz_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd; fig6_cmd;
-      fig7_cmd; liveness_cmd; trace_cmd; migrate_cmd; bugs_cmd; ablation_cmd;
-      replay_log_cmd; explain_cmd ]
+    [ fuzz_cmd; fleet_cmd; worker_cmd; table2_cmd; table3_cmd; table4_cmd;
+      table5_cmd; fig6_cmd; fig7_cmd; liveness_cmd; trace_cmd; migrate_cmd;
+      bugs_cmd; ablation_cmd; replay_log_cmd; explain_cmd ]
 
 let () = exit (Cmd.eval main)

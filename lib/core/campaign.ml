@@ -131,13 +131,29 @@ type resilience = {
   rz_budget : Dvz_uarch.Dualcore.budget option;
   rz_checkpoint : string option;
   rz_checkpoint_every : int;
+  rz_checkpoint_keep : bool;
   rz_resume : string option;
   rz_crash_dir : string option;
 }
 
 let no_resilience =
   { rz_fault_plan = []; rz_budget = None; rz_checkpoint = None;
-    rz_checkpoint_every = 50; rz_resume = None; rz_crash_dir = None }
+    rz_checkpoint_every = 50; rz_checkpoint_keep = false; rz_resume = None;
+    rz_crash_dir = None }
+
+exception
+  Bad_checkpoint of { bc_path : string; bc_reason : string; bc_advice : string }
+
+let bad_checkpoint_message ~path ~reason ~advice =
+  Printf.sprintf "cannot resume from %s: %s (%s)" path reason advice
+
+let () =
+  Printexc.register_printer (function
+    | Bad_checkpoint { bc_path; bc_reason; bc_advice } ->
+        Some
+          (bad_checkpoint_message ~path:bc_path ~reason:bc_reason
+             ~advice:bc_advice)
+    | _ -> None)
 
 let with_suffix rz suffix =
   let app = Option.map (fun p -> p ^ "." ^ suffix) in
@@ -178,22 +194,39 @@ let checkpoint_version = 3
    v3: options gained corpus_cap/batch, corpus stores Corpus.entry,
        batch cursor added *)
 
-let save_checkpoint ~path (cp : checkpoint) =
-  Snapshot.save ~path ~magic:checkpoint_magic ~version:checkpoint_version
-    (Marshal.to_string cp [])
+let save_checkpoint ?(keep_previous = false) ~path (cp : checkpoint) =
+  (* [No_sharing] canonicalises the encoding: semantically equal folds
+     produce byte-equal checkpoints even when their in-memory sharing
+     differs (outcomes that crossed a fleet worker's pipe are fresh
+     copies; in-process ones alias each other).  The fleet determinism
+     contract cmp(1)s checkpoint bytes, so this matters. *)
+  Snapshot.save ~keep_previous ~path ~magic:checkpoint_magic
+    ~version:checkpoint_version
+    (Marshal.to_string cp [ Marshal.No_sharing ])
 
-let load_checkpoint ~path : (checkpoint, string) result =
-  match Snapshot.load ~path ~magic:checkpoint_magic with
-  | Error _ as e -> e
+(* [Error (reason, advice)] — the pair [run] packs into
+   {!Bad_checkpoint}, and the fleet coordinator's fallback logic
+   classifies on. *)
+let load_checkpoint ~path : (checkpoint, string * string) result =
+  match Snapshot.load_checked ~path ~magic:checkpoint_magic with
+  | Error e -> Error (Snapshot.describe e, Snapshot.advice e)
   | Ok (v, payload) ->
       if v <> checkpoint_version then
         Error
-          (Printf.sprintf "checkpoint version %d unsupported (this build reads v%d)"
-             v checkpoint_version)
+          ( Printf.sprintf
+              "checkpoint version %d unsupported (this build reads v%d)" v
+              checkpoint_version,
+            "the checkpoint was written by an incompatible build — rerun it \
+             to completion there, or delete the file to start fresh" )
       else (
         match (Marshal.from_string payload 0 : checkpoint) with
         | cp -> Ok cp
-        | exception _ -> Error "checkpoint payload does not unmarshal")
+        | exception _ ->
+            Error
+              ( "checkpoint payload does not unmarshal",
+                "the payload bytes are damaged despite a valid header — \
+                 restore the .prev rotation if one exists, or delete the \
+                 file to start fresh" ))
 
 (* Alongside the human-readable [seed] string (which truncates the
    entropies), record everything [Explain.explain_crash] needs to rebuild
@@ -286,8 +319,8 @@ let finding_event f =
    happens in the fold, on the orchestrator's domain, in iteration
    order, which is why [jobs] changes wall-clock time and nothing
    else. *)
-let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1) cfg
-    options =
+let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1)
+    ?dispatch ?on_checkpoint cfg options =
   if options.batch < 1 then
     invalid_arg "Campaign.run: options.batch must be at least 1";
   if options.corpus_cap < 1 then
@@ -345,9 +378,15 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1) cfg
     match rz.rz_resume with
     | Some path when Sys.file_exists path -> (
         match load_checkpoint ~path with
-        | Error e ->
-            invalid_arg
-              (Printf.sprintf "Campaign.run: cannot resume from %s: %s" path e)
+        | Error (reason, advice) ->
+            (* Corruption-class failures (bad header, short payload, CRC,
+               unreadable, incompatible layout) are distinguishable from
+               "you passed different flags" mismatches below: callers can
+               exit with a dedicated code or fall back to the .prev
+               rotation. *)
+            raise
+              (Bad_checkpoint
+                 { bc_path = path; bc_reason = reason; bc_advice = advice })
         | Ok cp ->
             if cp.cp_core <> cfg.Dvz_uarch.Config.name then
               invalid_arg
@@ -708,12 +747,20 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1) cfg
            [jobs - 1] extra domains; jobs = 1 stays on this domain with no
            spawn overhead.  A [Fault.Killed] raised by any executor is
            re-raised here by [Parallel.map] — lowest iteration first —
-           exactly as the sequential loop propagates it. *)
+           exactly as the sequential loop propagates it.  A [dispatch]
+           override (the fleet coordinator) replaces execution entirely;
+           as long as it returns one outcome per plan in plan-index order,
+           the fold — and therefore every observable result — is identical
+           to in-process execution. *)
         let outcomes =
-          if jobs <= 1 || count <= 1 then List.map (Executor.execute ctx) plans
-          else
-            Dvz_util.Parallel.map ~domains:(jobs - 1) (Executor.execute ctx)
-              plans
+          match dispatch with
+          | Some d -> d ctx plans
+          | None ->
+              if jobs <= 1 || count <= 1 then
+                List.map (Executor.execute ctx) plans
+              else
+                Dvz_util.Parallel.map ~domains:(jobs - 1)
+                  (Executor.execute ctx) plans
         in
         List.iter fold_outcome outcomes);
        let b1 = !b + count in
@@ -725,12 +772,14 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1) cfg
            (* The batch crossed an every-N boundary; at batch = 1 this is
               the old [(it + 1) mod every = 0] cadence. *)
            profiled "campaign/checkpoint" (fun () ->
-               save_checkpoint ~path (make_checkpoint b1));
+               save_checkpoint ~keep_previous:rz.rz_checkpoint_keep ~path
+                 (make_checkpoint b1));
            if events_on then
              Events.emit tel.t_events
                [ ("type", Json.Str "checkpoint");
                  ("iteration", Json.Int b1);
-                 ("path", Json.Str path) ]
+                 ("path", Json.Str path) ];
+           (match on_checkpoint with Some f -> f b1 | None -> ())
        | _ -> ());
        b := b1
      done

@@ -146,10 +146,15 @@ type resilience = {
   rz_checkpoint_every : int;
       (** snapshot when a batch crosses a multiple of N iterations (at
           [batch = 1], exactly every N iterations) *)
+  rz_checkpoint_keep : bool;
+      (** rotate the checkpoint being replaced to [path ^ ".prev"] on
+          every write, keeping one known-good generation for fallback
+          (default false; the fleet coordinator turns it on) *)
   rz_resume : string option;
       (** checkpoint to restore before the first iteration; a missing
           file silently starts fresh (first run of a kill/resume loop),
-          a corrupt or mismatched one raises [Invalid_argument] *)
+          a corrupt or incompatible one raises {!Bad_checkpoint}, one
+          written under different flags raises [Invalid_argument] *)
   rz_crash_dir : string option;
       (** directory receiving one [crash-NNNN.json] artifact per
           isolated harness crash *)
@@ -164,10 +169,27 @@ val with_suffix : resilience -> string -> resilience
     multi-campaign experiments (Table 5 cores, Fig. 7 trials) give each
     campaign its own snapshot file from one [--checkpoint] flag. *)
 
+exception
+  Bad_checkpoint of { bc_path : string; bc_reason : string; bc_advice : string }
+(** A [rz_resume] file exists but cannot be trusted: unreadable, not a
+    checkpoint, truncated, checksum-damaged, or written by an
+    incompatible build.  [bc_reason] says which validation failed,
+    [bc_advice] suggests a recovery.  Distinct from the
+    [Invalid_argument] raised when a structurally sound checkpoint was
+    written under different campaign flags — corruption can be recovered
+    by falling back to an older generation, a flag mismatch cannot. *)
+
+val bad_checkpoint_message :
+  path:string -> reason:string -> advice:string -> string
+(** The one-line rendering ("cannot resume from <path>: <reason>
+    (<advice>)") used by the CLI and the registered exception printer. *)
+
 val run :
   ?telemetry:telemetry ->
   ?resilience:resilience ->
   ?jobs:int ->
+  ?dispatch:(Executor.ctx -> Scheduler.plan list -> Executor.outcome list) ->
+  ?on_checkpoint:(int -> unit) ->
   Dvz_uarch.Config.t ->
   options ->
   stats
@@ -178,8 +200,21 @@ val run :
     happen in the orchestrator's plan-index-ordered fold, [jobs] affects
     wall-clock time only; checkpoints record the batch cursor, so a
     campaign killed under any [jobs] and resumed under any other
-    produces stats bit-identical to an uninterrupted run.  Raises
-    [Invalid_argument] on an unusable [rz_resume] file or non-positive
+    produces stats bit-identical to an uninterrupted run.
+
+    [dispatch], when given, replaces batch execution entirely: it
+    receives the executor context and the batch's plans and must return
+    exactly one outcome per plan, in plan-index order.  Plans are plain
+    data (each carries its own pre-split generator), so a dispatcher may
+    execute them anywhere — the fleet coordinator ships them to worker
+    processes — and, because all side effects stay in the fold here,
+    any faithful dispatcher reproduces in-process results byte for
+    byte.  [on_checkpoint] is called with the iteration cursor right
+    after each checkpoint file is written (the fleet coordinator uses
+    it to run the checkpoint/ack exchange).
+
+    Raises {!Bad_checkpoint} on a corrupt or incompatible [rz_resume]
+    file, [Invalid_argument] on an options/core mismatch or non-positive
     [jobs]/[options.batch]/[options.corpus_cap]; injected
     {!Dvz_resilience.Fault.Killed} faults propagate to the caller. *)
 

@@ -1,0 +1,24 @@
+(** The fleet's child process: a stateless remote executor.
+
+    Speaks {!Proto} on a pair of file descriptors: announces itself with
+    [Hello], builds its executor context from the one [Config] frame,
+    then executes each [Assign]ed shard of plans, streaming one
+    [Outcome] frame per plan (in plan order) plus advisory [Finding]
+    frames, while a background thread emits periodic [Heartbeat]s.  All
+    campaign state — corpus, coverage, dedup, checkpoints — lives in the
+    coordinator, so a worker killed at any instant costs only the
+    re-execution of its outstanding plans, never a result. *)
+
+val main :
+  ?log:(string -> unit) ->
+  slot:int ->
+  in_fd:Unix.file_descr ->
+  out_fd:Unix.file_descr ->
+  unit ->
+  unit
+(** Runs the worker loop until [Shutdown] or EOF/EPIPE from the
+    coordinator (both return normally).  Raises [Failure] on a corrupt
+    or out-of-protocol stream and lets an injected
+    {!Dvz_resilience.Fault.Killed} propagate — the caller (the hidden
+    [dejavuzz worker] subcommand) maps those to exit codes.  Ignores
+    [SIGPIPE]. *)

@@ -46,22 +46,38 @@ let write_response fd resp =
   in
   send 0
 
-(* Read until the end of the header block (we never accept bodies) or a
-   small cap; returns the first line. *)
-let read_request_line fd =
+(* Read until the end of the header block (we never accept bodies), a
+   small cap, or the connection's [deadline]; returns the first line.
+   The deadline is absolute: a client trickling one byte per second
+   cannot extend its welcome by keeping each individual read fast, so a
+   silent or glacial connection can never pin the single accept thread
+   for longer than the configured window. *)
+let read_request_line ~deadline fd =
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 512 in
   let rec go () =
     if Buffer.length buf > 8192 then None
     else
-      let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
-      if n = 0 then if Buffer.length buf > 0 then Some (Buffer.contents buf) else None
-      else begin
-        Buffer.add_subbytes buf chunk 0 n;
-        let s = Buffer.contents buf in
-        (* A full request line is enough to dispatch. *)
-        if String.contains s '\n' then Some s else go ()
-      end
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then None
+      else
+        let readable =
+          match Unix.select [ fd ] [] [] remaining with
+          | [], _, _ -> false
+          | _ -> true
+          | exception _ -> false
+        in
+        if not readable then None
+        else
+          let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+          if n = 0 then
+            if Buffer.length buf > 0 then Some (Buffer.contents buf) else None
+          else begin
+            Buffer.add_subbytes buf chunk 0 n;
+            let s = Buffer.contents buf in
+            (* A full request line is enough to dispatch. *)
+            if String.contains s '\n' then Some s else go ()
+          end
   in
   match go () with
   | None -> None
@@ -97,9 +113,10 @@ let parse_request_line line =
       Some (meth, path, query)
   | _ -> None
 
-let handle routes fd =
+let handle ~client_timeout_s routes fd =
+  let deadline = Unix.gettimeofday () +. client_timeout_s in
   let resp =
-    match read_request_line fd with
+    match read_request_line ~deadline fd with
     | None -> text ~status:400 "bad request\n"
     | Some line -> (
         match parse_request_line line with
@@ -117,16 +134,19 @@ let handle routes fd =
   (try write_response fd resp with _ -> ());
   (try Unix.close fd with _ -> ())
 
-let accept_loop t routes =
+let accept_loop t ~client_timeout_s routes =
   while not (Atomic.get t.sv_stop) do
     match Unix.accept t.sv_sock with
     | exception _ -> if not (Atomic.get t.sv_stop) then Thread.yield ()
     | fd, _ ->
-        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0 with _ -> ());
-        handle routes fd
+        (* Belt (kernel receive timeout) and braces (the absolute
+           deadline inside [handle]). *)
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO client_timeout_s
+         with _ -> ());
+        handle ~client_timeout_s routes fd
   done
 
-let start ?(host = "127.0.0.1") ~port ~routes () =
+let start ?(host = "127.0.0.1") ?(client_timeout_s = 5.0) ~port ~routes () =
   match Unix.inet_addr_of_string host with
   | exception _ -> Error (Printf.sprintf "Server.start: bad host %S" host)
   | addr -> (
@@ -149,8 +169,18 @@ let start ?(host = "127.0.0.1") ~port ~routes () =
             { sv_sock = sock; sv_port = bound_port;
               sv_stop = Atomic.make false; sv_thread = None }
           in
-          t.sv_thread <- Some (Thread.create (fun () -> accept_loop t routes) ());
-          Ok t)
+          if client_timeout_s <= 0.0 then begin
+            (try Unix.close sock with _ -> ());
+            Error "Server.start: client_timeout_s must be positive"
+          end
+          else begin
+            t.sv_thread <-
+              Some
+                (Thread.create
+                   (fun () -> accept_loop t ~client_timeout_s routes)
+                   ());
+            Ok t
+          end)
 
 let port t = t.sv_port
 

@@ -20,13 +20,21 @@ val json : ?status:int -> Json.t -> response
 
 val start :
   ?host:string ->
+  ?client_timeout_s:float ->
   port:int ->
   routes:(string * handler) list ->
   unit ->
   (t, string) result
 (** Binds [host] (default loopback) on [port] ([0] = ephemeral; see
     {!port} for the bound value) and starts the accept thread.  Routing
-    is by exact path; unknown paths get 404, non-GET methods 405. *)
+    is by exact path; unknown paths get 404, non-GET methods 405.
+
+    [client_timeout_s] (default 5, must be positive) is the absolute
+    per-connection deadline for receiving the request line: a client
+    that connects and stays silent — or trickles bytes without ever
+    sending a newline — is answered with 400 and closed once the
+    deadline passes, so a single stalled connection can never pin the
+    accept thread during a long campaign. *)
 
 val port : t -> int
 

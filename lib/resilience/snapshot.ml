@@ -30,7 +30,9 @@ let header ~magic ~version payload =
   Printf.sprintf "DVZSNAP1 %s v%d len=%d crc=%08x\n" magic version
     (String.length payload) (crc32 payload)
 
-let save ~path ~magic ~version payload =
+let previous_path path = path ^ ".prev"
+
+let save ?(keep_previous = false) ~path ~magic ~version payload =
   check_magic magic;
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out_bin tmp in
@@ -40,8 +42,50 @@ let save ~path ~magic ~version payload =
       output_string oc (header ~magic ~version payload);
       output_string oc payload;
       flush oc);
+  (* Rotate before the install rename: if we die between the two renames
+     the live path is briefly missing, but [.prev] still holds the last
+     good snapshot — exactly the file a fallback loader wants. *)
+  if keep_previous && Sys.file_exists path then
+    (try Sys.rename path (previous_path path) with Sys_error _ -> ());
   Sys.rename tmp path;
   Dvz_obs.Metrics.incr m_written
+
+type error =
+  | Unreadable of string
+  | Empty
+  | Bad_header of string
+  | Magic_mismatch of { got : string; want : string }
+  | Truncated of { promised : int; actual : int }
+  | Checksum_mismatch of { stored : int; computed : int }
+
+let truncate_for_display s =
+  let s = if String.length s > 40 then String.sub s 0 40 ^ "…" else s in
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let describe = function
+  | Unreadable msg -> msg
+  | Empty -> "empty snapshot file"
+  | Bad_header line ->
+      Printf.sprintf "malformed snapshot header %S" (truncate_for_display line)
+  | Magic_mismatch { got; want } ->
+      Printf.sprintf "snapshot magic mismatch: got %S, want %S" got want
+  | Truncated { promised; actual } ->
+      Printf.sprintf
+        "snapshot truncated: header promises %d payload bytes, found %d"
+        promised actual
+  | Checksum_mismatch { stored; computed } ->
+      Printf.sprintf "snapshot checksum mismatch: stored %08x, computed %08x"
+        stored computed
+
+let advice = function
+  | Unreadable _ ->
+      "check the path and permissions, or drop --resume to start fresh"
+  | Empty | Bad_header _ | Magic_mismatch _ ->
+      "this is not a snapshot this tool wrote — point at a file produced \
+       by --checkpoint, or delete it to start fresh"
+  | Truncated _ | Checksum_mismatch _ ->
+      "the file was cut short or corrupted on disk — restore the .prev \
+       rotation if one exists, or delete it to start fresh"
 
 let parse_header line =
   match
@@ -50,32 +94,38 @@ let parse_header line =
   with
   | header -> Ok header
   | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
-      Error "malformed snapshot header"
+      Error (Bad_header line)
 
-let load ~path ~magic =
+let load_checked ~path ~magic =
   match open_in_bin path with
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg -> Error (Unreadable msg)
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           match input_line ic with
-          | exception End_of_file -> Error "empty snapshot file"
+          | exception End_of_file -> Error Empty
           | line -> (
               match parse_header line with
               | Error _ as e -> e
               | Ok (m, version, len, crc) ->
                   if m <> magic then
-                    Error
-                      (Printf.sprintf "snapshot magic mismatch: got %S, want %S"
-                         m magic)
+                    Error (Magic_mismatch { got = m; want = magic })
                   else
-                    let payload = Bytes.create len in
-                    match really_input ic payload 0 len with
-                    | exception End_of_file ->
-                        Error "snapshot truncated: payload shorter than header"
-                    | () ->
-                        let payload = Bytes.unsafe_to_string payload in
-                        if crc32 payload <> crc then
-                          Error "snapshot checksum mismatch"
-                        else Ok (version, payload)))
+                    (* Read whatever remains so a truncation error can say
+                       how short the file actually is. *)
+                    let rest = In_channel.input_all ic in
+                    if String.length rest < len then
+                      Error
+                        (Truncated
+                           { promised = len; actual = String.length rest })
+                    else
+                      let payload = String.sub rest 0 len in
+                      let computed = crc32 payload in
+                      if computed <> crc then
+                        Error
+                          (Checksum_mismatch { stored = crc; computed })
+                      else Ok (version, payload)))
+
+let load ~path ~magic =
+  Result.map_error describe (load_checked ~path ~magic)

@@ -14,15 +14,48 @@
     serialization (the campaign uses [Marshal] plus a version number it
     bumps on layout changes). *)
 
-val save : path:string -> magic:string -> version:int -> string -> unit
+val save :
+  ?keep_previous:bool ->
+  path:string -> magic:string -> version:int -> string -> unit
 (** [save ~path ~magic ~version payload] atomically replaces [path].
-    [magic] must be a single token (no spaces/newlines).  Increments the
+    [magic] must be a single token (no spaces/newlines).  With
+    [~keep_previous:true] the file being replaced is first rotated to
+    [path ^ ".prev"], keeping one known-good generation around for
+    fallback after a corrupted write (how the fleet coordinator recovers
+    from a bad checkpoint).  Increments the
     [dvz_checkpoints_written_total] counter.  Raises [Sys_error] on I/O
     failure. *)
 
+(** Why a snapshot failed to load — each constructor names the
+    validation layer that rejected the file, so callers can render an
+    actionable diagnostic ({!describe} + {!advice}) or decide whether a
+    fallback generation is worth trying. *)
+type error =
+  | Unreadable of string  (** the [open]/OS-level message *)
+  | Empty
+  | Bad_header of string  (** the offending first line *)
+  | Magic_mismatch of { got : string; want : string }
+  | Truncated of { promised : int; actual : int }
+      (** header promises [promised] payload bytes, file holds [actual] *)
+  | Checksum_mismatch of { stored : int; computed : int }
+
+val describe : error -> string
+(** One-line human-readable reason (no path — callers add it). *)
+
+val advice : error -> string
+(** One-line suggested recovery for the failure class. *)
+
+val previous_path : string -> string
+(** The rotation target [save ~keep_previous] uses: [path ^ ".prev"]. *)
+
+val load_checked : path:string -> magic:string -> (int * string, error) result
+(** [load_checked ~path ~magic] returns [(version, payload)] after
+    validating the header, length and CRC, or the structured reason it
+    refused the file. *)
+
 val load : path:string -> magic:string -> (int * string, string) result
-(** [load ~path ~magic] returns [(version, payload)] after validating
-    the header, length and CRC, or [Error reason]. *)
+(** {!load_checked} with the error flattened through {!describe} —
+    the original string-result interface. *)
 
 val crc32 : string -> int
 (** CRC-32 (IEEE, reflected) of a string — exposed for tests. *)

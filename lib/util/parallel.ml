@@ -43,13 +43,23 @@ let worker_index () = Domain.DLS.get worker_key
 
 let available () = Domain.recommended_domain_count ()
 
+(* Capped exponential backoff: the canonical delay schedule for every
+   "try again after a failure" seam in the tree — [retry] below and the
+   fleet coordinator's worker respawns both draw from it, so tuning the
+   shape happens in one place. *)
+let backoff ?(base = 0.05) ?(factor = 2.0) ?(cap = 30.0) k =
+  if k < 1 then invalid_arg "Parallel.backoff: attempt index must be >= 1";
+  let d = base *. (factor ** float_of_int (k - 1)) in
+  Float.min cap d
+
 type retry = {
   max_attempts : int;
   backoff_s : int -> float;
   transient : exn -> bool;
 }
 
-let retry ?(max_attempts = 3) ?(backoff_s = fun k -> 0.05 *. float_of_int k)
+let retry ?(max_attempts = 3)
+    ?(backoff_s = fun k -> backoff ~base:0.05 ~cap:1.0 k)
     ?(transient = fun _ -> true) () =
   if max_attempts < 1 then
     invalid_arg "Parallel.retry: max_attempts must be at least 1";

@@ -13,6 +13,13 @@
 type retry
 (** A bounded retry-with-backoff policy for transient task failures. *)
 
+val backoff : ?base:float -> ?factor:float -> ?cap:float -> int -> float
+(** [backoff k] is the delay (seconds) before attempt [k + 1]: a capped
+    exponential [min cap (base *. factor ** (k - 1))] with [base = 0.05],
+    [factor = 2.0] and [cap = 30.0] by default.  The shared schedule
+    behind {!retry}'s default and the fleet coordinator's worker
+    respawns.  Raises [Invalid_argument] when [k < 1]. *)
+
 val retry :
   ?max_attempts:int ->
   ?backoff_s:(int -> float) ->
@@ -21,10 +28,10 @@ val retry :
   retry
 (** [retry ()] allows [max_attempts] (default 3) attempts per task,
     sleeping [backoff_s k] seconds after the [k]th failed attempt
-    (default [0.05 *. k]; return [0.] to disable sleeping).  Only
-    exceptions satisfying [transient] (default: all) are retried — others
-    propagate immediately.  Each retried attempt increments the
-    [dvz_parallel_retries_total] counter. *)
+    (default [backoff ~base:0.05 ~cap:1.0]; return [0.] to disable
+    sleeping).  Only exceptions satisfying [transient] (default: all) are
+    retried — others propagate immediately.  Each retried attempt
+    increments the [dvz_parallel_retries_total] counter. *)
 
 val map : ?domains:int -> ?retry:retry -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] evaluates [f] on every element, using up to [domains]

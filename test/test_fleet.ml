@@ -1,0 +1,372 @@
+(* Tests for the fleet layer: the DVZF frame codec (roundtrip, partial
+   reassembly, corruption rejection) and the coordinator/worker
+   supervision loop (determinism vs the single-process engine,
+   kill-and-respawn, graceful degradation to inline execution).
+
+   Integration tests launch workers through the [fl_launch] fork seam
+   rather than re-exec'ing a binary: the child runs [Worker.main] on its
+   pipe ends and [Unix._exit]s, so it never returns into alcotest. *)
+
+module Campaign = Dejavuzz.Campaign
+module Cfg = Dvz_uarch.Config
+module Proto = Dvz_fleet.Proto
+module Coordinator = Dvz_fleet.Coordinator
+module Worker = Dvz_fleet.Worker
+
+let boom = Cfg.boom_small
+
+(* --- frame codec --------------------------------------------------------- *)
+
+let roundtrip msg =
+  let r = Proto.reader () in
+  Proto.feed_string r (Proto.encode msg);
+  match Proto.next r with
+  | Ok (Some m) ->
+      Alcotest.(check int) "no leftover bytes" 0 (Proto.buffered r);
+      m
+  | Ok None -> Alcotest.fail "codec: complete frame not decoded"
+  | Error e -> Alcotest.failf "codec: %s" (Proto.error_message e)
+
+let arb_msg =
+  let open QCheck in
+  let nat = 0 -- 1_000_000 in
+  let blob = string_of_size (Gen.int_bound 512) in
+  let g =
+    Gen.oneof
+      [ Gen.map2 (fun w p -> Proto.Hello { h_worker = w; h_pid = p })
+          (gen nat) (gen nat);
+        Gen.map (fun s -> Proto.Config { c_payload = s }) (gen blob);
+        Gen.map2 (fun e s -> Proto.Assign { a_epoch = e; a_payload = s })
+          (gen nat) (gen blob);
+        Gen.map2 (fun w d -> Proto.Heartbeat { b_worker = w; b_done = d })
+          (gen nat) (gen nat);
+        Gen.map3
+          (fun w (e, i) s ->
+            Proto.Outcome
+              { o_worker = w; o_epoch = e; o_iteration = i; o_payload = s })
+          (gen nat)
+          (Gen.pair (gen nat) (gen nat))
+          (gen blob);
+        Gen.map3
+          (fun w i c ->
+            Proto.Finding { f_worker = w; f_iteration = i; f_classes = c })
+          (gen nat) (gen nat) (gen nat);
+        Gen.map (fun i -> Proto.Checkpoint { k_iteration = i }) (gen nat);
+        Gen.map2
+          (fun w i -> Proto.Checkpoint_ack { k_worker = w; k_iteration = i })
+          (gen nat) (gen nat);
+        Gen.return Proto.Shutdown ]
+  in
+  QCheck.make ~print:Proto.kind_name g
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"every frame kind roundtrips" arb_msg
+    (fun msg -> roundtrip msg = msg)
+
+let sample_msgs =
+  [ Proto.Hello { h_worker = 3; h_pid = 4242 };
+    Proto.Config { c_payload = "spec-bytes \x00\xff" };
+    Proto.Assign { a_epoch = 7; a_payload = String.make 100 'p' };
+    Proto.Heartbeat { b_worker = 1; b_done = 99 };
+    Proto.Outcome
+      { o_worker = 0; o_epoch = 2; o_iteration = 17; o_payload = "out" };
+    Proto.Finding { f_worker = 1; f_iteration = 30; f_classes = 2 };
+    Proto.Checkpoint { k_iteration = 16 };
+    Proto.Checkpoint_ack { k_worker = 0; k_iteration = 16 };
+    Proto.Shutdown ]
+
+let drain r =
+  let rec go acc =
+    match Proto.next r with
+    | Ok (Some m) -> go (m :: acc)
+    | Ok None -> List.rev acc
+    | Error e -> Alcotest.failf "drain: %s" (Proto.error_message e)
+  in
+  go []
+
+let test_partial_reassembly () =
+  let stream = String.concat "" (List.map Proto.encode sample_msgs) in
+  List.iter
+    (fun chunk ->
+      let r = Proto.reader () in
+      let got = ref [] in
+      let i = ref 0 in
+      while !i < String.length stream do
+        let n = min chunk (String.length stream - !i) in
+        Proto.feed_string r (String.sub stream !i n);
+        i := !i + n;
+        got := !got @ drain r
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-byte feeds reassemble the stream" chunk)
+        true
+        (!got = sample_msgs);
+      Alcotest.(check int) "stream fully consumed" 0 (Proto.buffered r))
+    [ 1; 3; 7 ]
+
+let expect_error name expected r =
+  match Proto.next r with
+  | Error e when e = expected -> ()
+  | Error e ->
+      Alcotest.failf "%s: expected %s, got %s" name
+        (Proto.error_message expected)
+        (Proto.error_message e)
+  | Ok _ -> Alcotest.failf "%s: corrupt stream accepted" name
+
+let test_garbage_rejected () =
+  let r = Proto.reader () in
+  Proto.feed_string r "this is not a DVZF frame at all, not even close";
+  expect_error "garbage" Proto.Bad_magic r;
+  (* A poisoned reader stays poisoned: there are no trustworthy frame
+     boundaries left to resynchronise on. *)
+  Proto.feed_string r (Proto.encode Proto.Shutdown);
+  expect_error "poisoned after garbage" Proto.Bad_magic r
+
+let patch_byte s off f =
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.chr (f (Char.code (Bytes.get b off))));
+  Bytes.to_string b
+
+let test_crc_mismatch_rejected () =
+  let frame = Proto.encode (Proto.Config { c_payload = "payload-bytes" }) in
+  (* Flip one payload bit; header (incl. stored CRC) untouched. *)
+  let corrupt = patch_byte frame Proto.header_len (fun c -> c lxor 1) in
+  let r = Proto.reader () in
+  Proto.feed_string r corrupt;
+  expect_error "flipped payload byte" Proto.Crc_mismatch r
+
+let test_bad_version_and_kind_rejected () =
+  let frame = Proto.encode (Proto.Heartbeat { b_worker = 0; b_done = 1 }) in
+  let r = Proto.reader () in
+  Proto.feed_string r (patch_byte frame 4 (fun v -> v + 1));
+  expect_error "future version" (Proto.Bad_version (Proto.version + 1)) r;
+  let r = Proto.reader () in
+  Proto.feed_string r (patch_byte frame 5 (fun _ -> 250));
+  expect_error "unknown kind" (Proto.Bad_kind 250) r
+
+let test_oversized_rejected () =
+  (* A header promising more than [max_payload] must be refused before
+     any attempt to buffer it. *)
+  let b = Bytes.make Proto.header_len '\000' in
+  Bytes.blit_string "DVZF" 0 b 0 4;
+  Bytes.set b 4 (Char.chr Proto.version);
+  Bytes.set b 5 '\001';
+  Bytes.set_int32_be b 6 (Int32.of_int (Proto.max_payload + 1));
+  let r = Proto.reader () in
+  Proto.feed_string r (Bytes.to_string b);
+  expect_error "oversized" (Proto.Oversized (Proto.max_payload + 1)) r;
+  (* And the encoder refuses to build such a frame in the first place. *)
+  match
+    Proto.encode (Proto.Config { c_payload = String.make (Proto.max_payload + 1) 'x' })
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode accepted an oversized payload"
+
+let test_trailing_payload_bytes_rejected () =
+  (* A structurally valid frame whose payload has extra bytes after the
+     last field is a framing bug, not data to ignore. *)
+  let frame = Proto.encode (Proto.Checkpoint { k_iteration = 5 }) in
+  let payload = String.sub frame Proto.header_len 8 ^ "extra" in
+  let b = Bytes.make Proto.header_len '\000' in
+  Bytes.blit_string "DVZF" 0 b 0 4;
+  Bytes.set b 4 (Char.chr Proto.version);
+  Bytes.set b 5 (String.get frame 5);
+  Bytes.set_int32_be b 6 (Int32.of_int (String.length payload));
+  Bytes.set_int32_be b 10
+    (Int32.of_int (Dvz_resilience.Snapshot.crc32 payload));
+  let r = Proto.reader () in
+  Proto.feed_string r (Bytes.to_string b ^ payload);
+  expect_error "trailing bytes" (Proto.Bad_payload "checkpoint") r
+
+(* --- supervision --------------------------------------------------------- *)
+
+(* Launch a worker by forking: the child serves [Worker.main] over fresh
+   pipes and exits without ever returning to the test harness. *)
+let fork_launch ~slot =
+  let to_w_read, to_w_write = Unix.pipe ~cloexec:false () in
+  let from_w_read, from_w_write = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close to_w_write;
+      Unix.close from_w_read;
+      (match
+         Worker.main ~slot ~in_fd:to_w_read ~out_fd:from_w_write ()
+       with
+      | () -> Unix._exit 0
+      | exception _ -> Unix._exit 2)
+  | pid ->
+      Unix.close to_w_read;
+      Unix.close from_w_write;
+      (pid, to_w_write, from_w_read)
+
+let quiet_opts ~workers =
+  { Coordinator.default_opts with
+    Coordinator.fl_workers = workers;
+    fl_heartbeat_s = 0.05;
+    fl_deadline_s = 10.0;
+    fl_backoff_base_s = 0.05;
+    fl_backoff_cap_s = 0.2;
+    fl_log = ignore;
+    fl_launch = Some fork_launch }
+
+let options =
+  { Campaign.default_options with
+    Campaign.iterations = 24; rng_seed = 9; batch = 6 }
+
+let baseline_events options =
+  let buf = Buffer.create 4096 in
+  let telemetry =
+    { Campaign.quiet with Campaign.t_events = Dvz_obs.Events.to_buffer buf }
+  in
+  let stats = Campaign.run ~telemetry ~jobs:1 boom options in
+  (stats, Buffer.contents buf)
+
+let fleet_events ?resilience opts options =
+  let buf = Buffer.create 4096 in
+  let telemetry =
+    { Campaign.quiet with Campaign.t_events = Dvz_obs.Events.to_buffer buf }
+  in
+  let stats, fstats =
+    Coordinator.run ~telemetry ?resilience opts boom options
+  in
+  (stats, fstats, Buffer.contents buf)
+
+let strip_timing line =
+  match Dvz_obs.Json.of_lines line with
+  | Error e -> Alcotest.failf "unparseable event log: %s" e
+  | Ok events ->
+      List.map
+        (function
+          | Dvz_obs.Json.Obj fields ->
+              Dvz_obs.Json.Obj
+                (List.filter
+                   (fun (k, _) ->
+                     not
+                       (List.mem k
+                          [ "phase1_s"; "phase2_s"; "phase3_s"; "elapsed_s" ]))
+                   fields)
+          | ev -> ev)
+        events
+
+let check_matches_baseline name (stats, events) (fstats, fevents) =
+  Alcotest.(check bool) (name ^ ": stats identical") true (stats = fstats);
+  Alcotest.(check bool)
+    (name ^ ": event streams identical modulo timing")
+    true
+    (strip_timing events = strip_timing fevents)
+
+let test_fleet_matches_single_process () =
+  let base = baseline_events options in
+  let stats, fstats, events = fleet_events (quiet_opts ~workers:2) options in
+  check_matches_baseline "fleet" base (stats, events);
+  Alcotest.(check int) "both workers spawned" 2 fstats.Coordinator.fs_spawns;
+  Alcotest.(check int) "no restarts" 0 fstats.Coordinator.fs_restarts
+
+let test_fleet_survives_sigkill () =
+  let base = baseline_events options in
+  let opts =
+    { (quiet_opts ~workers:2) with
+      Coordinator.fl_chaos = [ (1, 1, Sys.sigkill) ] }
+  in
+  let stats, fstats, events = fleet_events opts options in
+  check_matches_baseline "kill+respawn" base (stats, events);
+  Alcotest.(check bool) "death was observed and respawn scheduled" true
+    (fstats.Coordinator.fs_restarts >= 1)
+
+let test_fleet_degrades_to_inline () =
+  (* Kill both workers with no respawn budget: every slot retires and
+     the coordinator must finish the campaign itself. *)
+  let base = baseline_events options in
+  let opts =
+    { (quiet_opts ~workers:2) with
+      Coordinator.fl_max_respawns = 0;
+      fl_chaos = [ (0, 0, Sys.sigkill); (0, 1, Sys.sigkill) ] }
+  in
+  let stats, fstats, events = fleet_events opts options in
+  check_matches_baseline "degraded" base (stats, events);
+  Alcotest.(check int) "both slots retired" 2 fstats.Coordinator.fs_retired;
+  Alcotest.(check bool) "coordinator picked up the slack" true
+    (fstats.Coordinator.fs_inline_plans > 0)
+
+let test_fleet_heartbeat_deadline () =
+  (* SIGSTOP freezes a worker without closing its pipes: only the
+     heartbeat deadline can catch it. *)
+  let base = baseline_events options in
+  let opts =
+    { (quiet_opts ~workers:2) with
+      Coordinator.fl_deadline_s = 0.4;
+      fl_chaos = [ (0, 1, Sys.sigstop) ] }
+  in
+  let stats, fstats, events = fleet_events opts options in
+  check_matches_baseline "frozen worker" base (stats, events);
+  Alcotest.(check bool) "silence past the deadline was detected" true
+    (fstats.Coordinator.fs_heartbeats_missed >= 1)
+
+let test_fleet_zero_workers_runs_inline () =
+  let base = baseline_events options in
+  let stats, fstats, events = fleet_events (quiet_opts ~workers:0) options in
+  check_matches_baseline "workers=0" base (stats, events);
+  Alcotest.(check int) "everything ran inline" options.Campaign.iterations
+    fstats.Coordinator.fs_inline_plans
+
+let test_fleet_checkpoint_bytes_match () =
+  let dir = Filename.temp_file "dvz_fleet" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let read_file p = In_channel.with_open_bin p In_channel.input_all in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let ck_a = Filename.concat dir "a.ck"
+      and ck_b = Filename.concat dir "b.ck" in
+      let rz path =
+        { Campaign.no_resilience with
+          Campaign.rz_checkpoint = Some path;
+          rz_checkpoint_every = 12 }
+      in
+      let _ = Campaign.run ~resilience:(rz ck_a) ~jobs:1 boom options in
+      let opts =
+        { (quiet_opts ~workers:2) with
+          Coordinator.fl_chaos = [ (1, 0, Sys.sigkill) ] }
+      in
+      let _ = fleet_events ~resilience:(rz ck_b) opts options in
+      Alcotest.(check bool)
+        "checkpoint bytes identical across fleet and single-process" true
+        (read_file ck_a = read_file ck_b);
+      Alcotest.(check bool) "fleet rotated a .prev checkpoint" true
+        (Sys.file_exists (Dvz_resilience.Snapshot.previous_path ck_b)))
+
+let () =
+  let qcheck = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dvz_fleet"
+    [ ( "proto",
+        [ qcheck prop_roundtrip;
+          Alcotest.test_case "partial reassembly" `Quick
+            test_partial_reassembly;
+          Alcotest.test_case "garbage rejected, reader poisoned" `Quick
+            test_garbage_rejected;
+          Alcotest.test_case "crc mismatch rejected" `Quick
+            test_crc_mismatch_rejected;
+          Alcotest.test_case "bad version / kind rejected" `Quick
+            test_bad_version_and_kind_rejected;
+          Alcotest.test_case "oversized rejected" `Quick
+            test_oversized_rejected;
+          Alcotest.test_case "trailing payload bytes rejected" `Quick
+            test_trailing_payload_bytes_rejected ] );
+      ( "coordinator",
+        [ Alcotest.test_case "fleet output equals --jobs 1" `Quick
+            test_fleet_matches_single_process;
+          Alcotest.test_case "sigkill mid-campaign survived" `Quick
+            test_fleet_survives_sigkill;
+          Alcotest.test_case "respawn budget exhausted degrades inline" `Quick
+            test_fleet_degrades_to_inline;
+          Alcotest.test_case "heartbeat deadline catches a frozen worker"
+            `Quick test_fleet_heartbeat_deadline;
+          Alcotest.test_case "zero workers runs inline" `Quick
+            test_fleet_zero_workers_runs_inline;
+          Alcotest.test_case "checkpoint bytes identical" `Quick
+            test_fleet_checkpoint_bytes_match ] ) ]

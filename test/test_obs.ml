@@ -827,6 +827,58 @@ let test_live_server_endpoints () =
           Alcotest.(check bool) "unknown path is 404" true
             (contains nheaders " 404 "))
 
+let test_server_drops_slow_clients () =
+  (* A client that connects and never sends a request line must not
+     wedge the accept loop: the server hangs up at the deadline and
+     later requests are served. *)
+  let routes = [ ("/healthz", fun _ -> Server.text "ok\n") ] in
+  match Server.start ~port:0 ~client_timeout_s:0.3 ~routes () with
+  | Error e -> Alcotest.failf "server did not start: %s" e
+  | Ok srv ->
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv)
+        (fun () ->
+          let port = Server.port srv in
+          let silent = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close silent with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect silent
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              (* Trickle a partial request line, then go quiet. *)
+              ignore (Unix.write_substring silent "GE" 0 2);
+              let t0 = Unix.gettimeofday () in
+              let headers, body = split_response (http_get port "/healthz") in
+              Alcotest.(check bool) "request served despite slow client" true
+                (contains headers " 200 ");
+              Alcotest.(check string) "body intact" "ok\n" body;
+              Alcotest.(check bool) "served within a few deadlines" true
+                (Unix.gettimeofday () -. t0 < 3.0);
+              (* The server answers the timed-out client with a 400 and
+                 hangs up; drain to EOF to observe both. *)
+              let buf = Bytes.create 256 in
+              let got = Buffer.create 64 in
+              let rec drain () =
+                match Unix.read silent buf 0 256 with
+                | 0 -> ()
+                | n ->
+                    Buffer.add_subbytes got buf 0 n;
+                    drain ()
+                | exception
+                    Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                    ()
+              in
+              drain ();
+              Alcotest.(check bool) "silent client got a 400 then EOF" true
+                (contains (Buffer.contents got) " 400 ")));
+      (match Server.start ~port:0 ~client_timeout_s:0.0 ~routes () with
+      | Ok srv ->
+          Server.stop srv;
+          Alcotest.fail "non-positive timeout accepted"
+      | Error e ->
+          Alcotest.(check bool) "non-positive timeout rejected" true
+            (contains e "must be positive"))
+
 (* --- parallel map counters ------------------------------------------------ *)
 
 let test_parallel_task_counters () =
@@ -867,7 +919,9 @@ let () =
           Alcotest.test_case "trace-event export is valid" `Quick
             test_trace_event_export_valid ] );
       ( "server",
-        [ Alcotest.test_case "live endpoints on an ephemeral port" `Quick
+        [ Alcotest.test_case "slow clients dropped at deadline" `Quick
+            test_server_drops_slow_clients;
+          Alcotest.test_case "live endpoints on an ephemeral port" `Quick
             test_live_server_endpoints ] );
       ( "exporters",
         [ Alcotest.test_case "prometheus escaping" `Quick

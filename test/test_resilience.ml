@@ -92,6 +92,65 @@ let test_snapshot_magic_and_truncation () =
   | Ok _ -> Alcotest.fail "missing file loaded");
   Sys.remove path
 
+let test_snapshot_structured_errors () =
+  (* [load_checked] names the exact validation that failed; [advice]
+     tells the operator what to do about it. *)
+  let path = temp_path "dvz_structured" in
+  Snapshot.save ~path ~magic:"m" ~version:2 "the payload";
+  (match Snapshot.load_checked ~path:(path ^ ".nope") ~magic:"m" with
+  | Error (Snapshot.Unreadable _ as e) ->
+      Alcotest.(check bool) "unreadable advice mentions --resume" true
+        (contains (Snapshot.advice e) "--resume")
+  | Error e -> Alcotest.failf "wrong class: %s" (Snapshot.describe e)
+  | Ok _ -> Alcotest.fail "missing file loaded");
+  (match Snapshot.load_checked ~path ~magic:"other" with
+  | Error (Snapshot.Magic_mismatch { got; want }) ->
+      Alcotest.(check string) "got" "m" got;
+      Alcotest.(check string) "want" "other" want
+  | Error e -> Alcotest.failf "wrong class: %s" (Snapshot.describe e)
+  | Ok _ -> Alcotest.fail "magic mismatch loaded");
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub raw 0 (String.length raw - 4)));
+  (match Snapshot.load_checked ~path ~magic:"m" with
+  | Error (Snapshot.Truncated { promised; actual }) ->
+      Alcotest.(check int) "promised" 11 promised;
+      Alcotest.(check int) "actual" 7 actual
+  | Error e -> Alcotest.failf "wrong class: %s" (Snapshot.describe e)
+  | Ok _ -> Alcotest.fail "truncated snapshot loaded");
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "not a snapshot at all");
+  (match Snapshot.load_checked ~path ~magic:"m" with
+  | Error (Snapshot.Bad_header _ as e) ->
+      Alcotest.(check bool) "bad-header advice suggests recovery" true
+        (contains (Snapshot.advice e) "delete")
+  | Error e -> Alcotest.failf "wrong class: %s" (Snapshot.describe e)
+  | Ok _ -> Alcotest.fail "garbage loaded");
+  Sys.remove path
+
+let test_snapshot_prev_rotation () =
+  let path = temp_path "dvz_prev" in
+  let prev = Snapshot.previous_path path in
+  Alcotest.(check string) "previous path" (path ^ ".prev") prev;
+  Snapshot.save ~keep_previous:true ~path ~magic:"m" ~version:1 "first";
+  Alcotest.(check bool) "first save rotates nothing" false
+    (Sys.file_exists prev);
+  Snapshot.save ~keep_previous:true ~path ~magic:"m" ~version:1 "second";
+  Snapshot.save ~keep_previous:true ~path ~magic:"m" ~version:1 "third";
+  (match Snapshot.load ~path ~magic:"m" with
+  | Ok (_, p) -> Alcotest.(check string) "latest" "third" p
+  | Error e -> Alcotest.failf "latest unreadable: %s" e);
+  (match Snapshot.load ~path:prev ~magic:"m" with
+  | Ok (_, p) -> Alcotest.(check string) "previous" "second" p
+  | Error e -> Alcotest.failf "previous unreadable: %s" e);
+  (* Without the flag, rotation stops and .prev goes stale. *)
+  Snapshot.save ~path ~magic:"m" ~version:1 "fourth";
+  (match Snapshot.load ~path:prev ~magic:"m" with
+  | Ok (_, p) -> Alcotest.(check string) "untouched" "second" p
+  | Error e -> Alcotest.failf "previous unreadable: %s" e);
+  Sys.remove path;
+  Sys.remove prev
+
 (* --- fault plans ---------------------------------------------------------- *)
 
 let test_fault_parse_roundtrip () =
@@ -615,6 +674,37 @@ let test_campaign_resume_rejects_mismatch () =
       Alcotest.(check bool) "names the cores" true (contains msg "core"));
   Sys.remove ck
 
+let test_campaign_bad_checkpoint_classified () =
+  (* Corruption raises [Bad_checkpoint] (path + reason + advice, for the
+     CLI's dedicated exit code and the fleet's .prev fallback) — a
+     different failure class from the [Invalid_argument] flag
+     mismatches above. *)
+  let ck = temp_path "dvz_badck" in
+  let options = base_options 10 5 in
+  let rz =
+    { Campaign.no_resilience with
+      Campaign.rz_checkpoint = Some ck;
+      rz_checkpoint_every = 5 }
+  in
+  ignore (Campaign.run ~resilience:rz boom options);
+  let raw = In_channel.with_open_bin ck In_channel.input_all in
+  Out_channel.with_open_bin ck (fun oc ->
+      Out_channel.output_string oc ("XX" ^ String.sub raw 2 (String.length raw - 2)));
+  let resume_rz = { Campaign.no_resilience with Campaign.rz_resume = Some ck } in
+  (match Campaign.run ~resilience:resume_rz boom options with
+  | _ -> Alcotest.fail "corrupt checkpoint accepted"
+  | exception Campaign.Bad_checkpoint { bc_path; bc_reason; bc_advice } ->
+      Alcotest.(check string) "names the file" ck bc_path;
+      Alcotest.(check bool) "reason non-empty" true (bc_reason <> "");
+      Alcotest.(check bool) "advice suggests recovery" true
+        (contains bc_advice "delete" || contains bc_advice "--checkpoint");
+      Alcotest.(check bool) "printable message" true
+        (contains
+           (Campaign.bad_checkpoint_message ~path:bc_path ~reason:bc_reason
+              ~advice:bc_advice)
+           "cannot resume"));
+  Sys.remove ck
+
 let test_campaign_crash_artifact_written () =
   let options = base_options 25 3 in
   let _, events = run_with_events options in
@@ -663,7 +753,11 @@ let () =
           Alcotest.test_case "corruption detected" `Quick
             test_snapshot_detects_corruption;
           Alcotest.test_case "magic and truncation" `Quick
-            test_snapshot_magic_and_truncation ] );
+            test_snapshot_magic_and_truncation;
+          Alcotest.test_case "structured errors and advice" `Quick
+            test_snapshot_structured_errors;
+          Alcotest.test_case "prev rotation" `Quick
+            test_snapshot_prev_rotation ] );
       ( "fault",
         [ Alcotest.test_case "parse roundtrip" `Quick test_fault_parse_roundtrip;
           Alcotest.test_case "seeded plans deterministic" `Quick
@@ -707,6 +801,8 @@ let () =
             test_campaign_resume_missing_file_starts_fresh;
           Alcotest.test_case "resume rejects mismatch" `Quick
             test_campaign_resume_rejects_mismatch;
+          Alcotest.test_case "bad checkpoint classified" `Quick
+            test_campaign_bad_checkpoint_classified;
           Alcotest.test_case "crash artifact" `Quick
             test_campaign_crash_artifact_written;
           Alcotest.test_case "with_suffix" `Quick test_with_suffix ] ) ]
