@@ -58,7 +58,8 @@ type progress = {
   pg_timeouts : int;
   pg_sim_cycles : int;
   pg_batches : int;
-  pg_jobs : int;
+  pg_jobs : int;  (* requested via [run ~jobs] *)
+  pg_jobs_effective : int;  (* lanes actually used (clamped to hardware) *)
   pg_domain_iters : int array;  (* per worker domain, 0 = orchestrator *)
   pg_elapsed_s : float;
   pg_eta_s : float option;
@@ -86,6 +87,7 @@ let progress_json p =
       ("sim_cycles", Json.Int p.pg_sim_cycles);
       ("batches", Json.Int p.pg_batches);
       ("jobs", Json.Int p.pg_jobs);
+      ("jobs_effective", Json.Int p.pg_jobs_effective);
       ( "domain_iterations",
         Json.Arr
           (Array.to_list (Array.map (fun n -> Json.Int n) p.pg_domain_iters))
@@ -367,8 +369,13 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1)
       ~help:"Phase 3 (dual-DUT simulation + oracles) seconds"
       "dvz_phase3_seconds"
   in
+  (* Lanes the dispatcher will actually use: [jobs] clamped to the
+     hardware (with a one-time stderr note when clamped).  The per-domain
+     counters are sized from it — the executor asserts its worker index in
+     range instead of silently folding high slots into the last one. *)
+  let jobs_effective = Dvz_util.Parallel.effective_lanes jobs in
   let domain_iters =
-    Array.init jobs (fun i ->
+    Array.init jobs_effective (fun i ->
         Metrics.counter tel.t_metrics
           ~help:"Campaign iterations executed by one worker domain (0 = orchestrator)"
           (Printf.sprintf "dvz_campaign_iterations_domain_%d" i))
@@ -559,6 +566,7 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1)
                pg_sim_cycles = !sim_cycles;
                pg_batches = !batch_no;
                pg_jobs = jobs;
+               pg_jobs_effective = jobs_effective;
                pg_domain_iters = Array.map Metrics.counter_value domain_iters;
                pg_elapsed_s = elapsed;
                pg_eta_s = eta })
@@ -743,23 +751,24 @@ let run ?(telemetry = quiet) ?(resilience = no_resilience) ?(jobs = 1)
               Scheduler.schedule ~fresh_seed_prob:options.fresh_seed_prob
                 ~corpus:snap ~rng ~start:!b ~count)
         in
-        (* [jobs] counts total worker domains (orchestrator included), so
-           [jobs - 1] extra domains; jobs = 1 stays on this domain with no
-           spawn overhead.  A [Fault.Killed] raised by any executor is
-           re-raised here by [Parallel.map] — lowest iteration first —
-           exactly as the sequential loop propagates it.  A [dispatch]
-           override (the fleet coordinator) replaces execution entirely;
-           as long as it returns one outcome per plan in plan-index order,
-           the fold — and therefore every observable result — is identical
-           to in-process execution. *)
+        (* [jobs] counts total lanes (orchestrator included) and
+           [Parallel.map ~domains] now shares that meaning, pre-clamped to
+           the hardware above; effective jobs = 1 stays on this domain
+           with no spawn overhead.  A [Fault.Killed] raised by any
+           executor is re-raised here by [Parallel.map] — lowest iteration
+           first — exactly as the sequential loop propagates it.  A
+           [dispatch] override (the fleet coordinator) replaces execution
+           entirely; as long as it returns one outcome per plan in
+           plan-index order, the fold — and therefore every observable
+           result — is identical to in-process execution. *)
         let outcomes =
           match dispatch with
           | Some d -> d ctx plans
           | None ->
-              if jobs <= 1 || count <= 1 then
+              if jobs_effective <= 1 || count <= 1 then
                 List.map (Executor.execute ctx) plans
               else
-                Dvz_util.Parallel.map ~domains:(jobs - 1)
+                Dvz_util.Parallel.map ~domains:jobs_effective
                   (Executor.execute ctx) plans
         in
         List.iter fold_outcome outcomes);

@@ -64,9 +64,13 @@ type progress = {
   pg_timeouts : int;
   pg_sim_cycles : int;
   pg_batches : int;
-  pg_jobs : int;
+  pg_jobs : int;  (** lanes requested via [run ~jobs] *)
+  pg_jobs_effective : int;
+      (** lanes actually used: [jobs] clamped to the hardware
+          ({!Dvz_util.Parallel.effective_lanes}) *)
   pg_domain_iters : int array;
-      (** iterations executed per worker domain (0 = orchestrator) *)
+      (** iterations executed per worker domain (0 = orchestrator),
+          sized from [pg_jobs_effective] *)
   pg_elapsed_s : float;
   pg_eta_s : float option;  (** linear extrapolation; [None] at the edges *)
 }
@@ -193,9 +197,11 @@ val run :
   Dvz_uarch.Config.t ->
   options ->
   stats
-(** Runs the campaign.  [jobs] (default 1) is the number of worker
-    domains executing each batch of plans — the orchestrator's domain
-    included, so [jobs = 4] spawns three extra domains.  Since every
+(** Runs the campaign.  [jobs] (default 1) is the total number of lanes
+    executing each batch of plans — the orchestrator's domain included,
+    so [jobs = 4] spawns three extra domains.  Requests beyond the
+    hardware are clamped ({!Dvz_util.Parallel.effective_lanes}, noted
+    once on stderr and reported as [pg_jobs_effective]).  Since every
     plan carries its own pre-split child generator and all side effects
     happen in the orchestrator's plan-index-ordered fold, [jobs] affects
     wall-clock time only; checkpoints record the batch cursor, so a

@@ -49,10 +49,15 @@ let execute cx (plan : Scheduler.plan) =
   let it = plan.Scheduler.pl_iteration in
   let irng = plan.Scheduler.pl_rng in
   let clk = cx.cx_clock in
-  (if Array.length cx.cx_domain_iters > 0 then
+  (if Array.length cx.cx_domain_iters > 0 then begin
+     (* The array is sized from the campaign's effective lane count and
+        [Parallel.map] never hands out indices beyond it, so an
+        out-of-range index is a wiring bug — assert instead of silently
+        folding high slots into the last counter. *)
      let w = Dvz_util.Parallel.worker_index () in
-     Metrics.incr
-       cx.cx_domain_iters.(min w (Array.length cx.cx_domain_iters - 1)));
+     assert (w < Array.length cx.cx_domain_iters);
+     Metrics.incr cx.cx_domain_iters.(w)
+   end);
   (* Fault arming is domain-local (Domain.DLS), so each worker arms and
      drains its own plan's faults without touching its siblings'. *)
   Fault.arm ~iteration:it cx.cx_fault_plan;

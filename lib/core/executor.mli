@@ -54,7 +54,10 @@ type ctx = {
   cx_clock : Dvz_obs.Clock.t;
   cx_domain_iters : Dvz_obs.Metrics.counter array;
       (** per-worker-domain iteration counters, indexed by
-          {!Dvz_util.Parallel.worker_index} (clamped to the array) *)
+          {!Dvz_util.Parallel.worker_index}.  Sized from the effective
+          lane count ({!Dvz_util.Parallel.effective_lanes}); an
+          out-of-range worker index is a wiring bug and asserts rather
+          than aliasing counters. *)
 }
 
 val execute : ctx -> Scheduler.plan -> outcome

@@ -3,8 +3,11 @@ module Core = Dvz_uarch.Core
 let eval_secret = Array.make Dvz_soc.Layout.secret_dwords 0x5A
 
 let evaluate cfg tc =
+  (* Reduction re-evaluates once per training packet, so this is the
+     hottest construction site in phase 1 — draw the testbench from the
+     per-domain pool and re-arm it instead of rebuilding. *)
   let stim = Packet.stimulus ~secret:eval_secret tc in
-  let core = Core.create cfg stim in
+  let core = Simpool.acquire_core cfg stim in
   ignore (Core.run core);
   Trigger_gen.triggered tc (Core.windows core)
 

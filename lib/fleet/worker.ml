@@ -77,7 +77,7 @@ let build_ctx (spec : Wire.spec) =
     | max_slots, max_wall_s ->
         Some (Dvz_uarch.Dualcore.budget ?max_slots ?max_wall_s ())
   in
-  let jobs = max 1 spec.Wire.w_jobs in
+  let jobs = Dvz_util.Parallel.effective_lanes (max 1 spec.Wire.w_jobs) in
   { Executor.cx_cfg = spec.Wire.w_cfg;
     cx_style = spec.Wire.w_style;
     cx_taint_mode = spec.Wire.w_taint_mode;
@@ -115,15 +115,18 @@ let handle_assign t ~epoch payload =
       match Wire.plans_of_string payload with
       | Error e -> failwith ("fleet worker: " ^ e)
       | Ok plans ->
-          let jobs = max 1 spec.Wire.w_jobs in
+          let jobs =
+            Dvz_util.Parallel.effective_lanes (max 1 spec.Wire.w_jobs)
+          in
           if jobs > 1 && List.length plans > 1 then
-            (* Execute the shard across domains, then stream results in
-               plan order.  [Fault.Killed] from any plan propagates and
-               takes the whole process down — by design: that is the
-               fault the supervisor exists to survive. *)
+            (* Execute the shard across domains ([~domains] counts total
+               lanes), then stream results in plan order.  [Fault.Killed]
+               from any plan propagates and takes the whole process down —
+               by design: that is the fault the supervisor exists to
+               survive. *)
             List.iter (send_outcome t ~epoch)
-              (Dvz_util.Parallel.map ~domains:(jobs - 1)
-                 (Executor.execute ctx) plans)
+              (Dvz_util.Parallel.map ~domains:jobs (Executor.execute ctx)
+                 plans)
           else
             (* Stream incrementally: completed iterations reach the
                coordinator even if a later plan kills this process. *)

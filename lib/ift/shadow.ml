@@ -218,6 +218,34 @@ let create ?provenance ?(engine : engine = `Compiled) mode nl =
     commit = compile_commit nl arr_a arr_b arr_t;
     prov = provenance; ticks = 0 }
 
+(* Re-arm a built co-simulator without re-lowering the netlist: both value
+   planes back to register-init/const state, the taint plane and all three
+   memory planes zeroed, tick counter cleared.  Bit-identical to a fresh
+   [create ?provenance ~engine mode nl]. *)
+let reset t =
+  let n = N.num_signals t.nl in
+  for i = 0 to n - 1 do
+    let s = N.signal_of_int t.nl i in
+    (match N.cell_of t.nl s with
+    | N.Reg r ->
+        t.va.(i) <- r.N.init;
+        t.vb.(i) <- r.N.init
+    | N.Const v ->
+        t.va.(i) <- v;
+        t.vb.(i) <- v
+    | _ ->
+        t.va.(i) <- 0;
+        t.vb.(i) <- 0);
+    t.ta.(i) <- 0
+  done;
+  let zero tbl =
+    Hashtbl.iter (fun _ arr -> Array.fill arr 0 (Array.length arr) 0) tbl
+  in
+  zero t.mem_a;
+  zero t.mem_b;
+  zero t.mem_t;
+  t.ticks <- 0
+
 let mode t = t.mode
 let engine t = t.engine
 let netlist t = t.nl

@@ -32,6 +32,12 @@ val create :
     engine by the differential tests); without [provenance] the selected
     engine runs unchanged, with no per-cell overhead. *)
 
+val reset : t -> unit
+(** Re-arms a built co-simulator without re-lowering the netlist: both
+    value planes back to register-init/const state (inputs and
+    combinational nets to 0), the taint plane and all three memory planes
+    zeroed, tick counter cleared.  Bit-identical to a fresh [create]. *)
+
 val mode : t -> Policy.mode
 
 val engine : t -> engine

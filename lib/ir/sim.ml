@@ -200,6 +200,24 @@ let create ?(engine : engine = `Compiled) nl =
     commit = compile_commit nl mem_arr;
     ticks = 0; hooks_rev = []; hook_arr = [||] }
 
+(* Re-arm a built simulator without re-validating, re-ordering or
+   re-lowering the netlist: values back to register-init/const state,
+   memories zeroed, tick counter and hooks cleared.  Bit-identical to a
+   fresh [create ~engine nl] (the compiled program, latch and commit plans
+   are pure functions of the netlist and stay valid). *)
+let reset t =
+  for i = 0 to N.num_signals t.nl - 1 do
+    let s = N.signal_of_int t.nl i in
+    match N.cell_of t.nl s with
+    | N.Reg r -> t.values.(i) <- r.N.init
+    | N.Const v -> t.values.(i) <- v
+    | _ -> t.values.(i) <- 0
+  done;
+  Hashtbl.iter (fun _ arr -> Array.fill arr 0 (Array.length arr) 0) t.mem_data;
+  t.ticks <- 0;
+  t.hooks_rev <- [];
+  t.hook_arr <- [||]
+
 let netlist t = t.nl
 let engine t = t.engine
 

@@ -28,6 +28,12 @@ val create : ?engine:engine -> Netlist.t -> t
     {!Netlist.Width_error} if a mux selector, register enable or memory
     write enable is not 1 bit wide ({!Netlist.validate} runs first). *)
 
+val reset : t -> unit
+(** Re-arms a built simulator without re-lowering the netlist: all signal
+    values back to register-init/const state (inputs and combinational
+    nets to 0), memories zero-filled, tick counter and {!on_cycle} hooks
+    cleared.  Bit-identical to a fresh [create ~engine nl]. *)
+
 val netlist : t -> Netlist.t
 
 val engine : t -> engine

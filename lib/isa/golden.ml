@@ -23,6 +23,17 @@ let create ?(pc = 0) ?(priv = Machine) ?(mtvec = 0) mem =
   { mem; regs = Array.make 32 0; pc; priv; mepc = 0; mcause = 0; mtval = 0;
     mtvec; mscratch = 0; mpp = User }
 
+let reset ?(pc = 0) ?(priv = Machine) ?(mtvec = 0) t =
+  Array.fill t.regs 0 32 0;
+  t.pc <- pc;
+  t.priv <- priv;
+  t.mepc <- 0;
+  t.mcause <- 0;
+  t.mtval <- 0;
+  t.mtvec <- mtvec;
+  t.mscratch <- 0;
+  t.mpp <- User
+
 let pc t = t.pc
 let priv t = t.priv
 let reg t r = if Reg.to_int r = 0 then 0 else t.regs.(Reg.to_int r)
@@ -67,7 +78,7 @@ let enter_trap t cause tval =
   t.priv <- Machine;
   t.pc <- t.mtvec
 
-let step t =
+let step_decoded t ~fetched =
   let s_pc = t.pc in
   let finish ?(next = s_pc + 4) ?trap ?taken ?target ?mem_addr ?loaded insn =
     (match trap with
@@ -77,12 +88,11 @@ let step t =
       s_trap = Option.map fst trap; s_taken = taken; s_target = target;
       s_mem_addr = mem_addr; s_loaded = loaded }
   in
-  match t.mem.fetch ~priv:t.priv ~addr:s_pc with
+  match fetched with
   | Error cause ->
       (* Fetch fault: attribute it to a pseudo-instruction. *)
       finish ~trap:(cause, s_pc) (Insn.Illegal 0)
-  | Ok word -> (
-      let insn = Decode.decode word in
+  | Ok (word, insn) -> (
       match insn with
       | Insn.Lui (rd, imm20) ->
           set_reg t rd (sign_extend 32 (imm20 lsl 12));
@@ -181,6 +191,13 @@ let step t =
           t.mcause <- 0;
           finish ~next:t.mepc ~target:t.mepc insn
       | Insn.Illegal _ -> finish ~trap:(Trap.Illegal_instruction, word) insn)
+
+let step t =
+  step_decoded t
+    ~fetched:
+      (match t.mem.fetch ~priv:t.priv ~addr:t.pc with
+      | Error cause -> Error cause
+      | Ok word -> Ok (word, Decode.decode word))
 
 let run t ?(fuel = 10_000) ~stop () =
   let rec go acc fuel =

@@ -25,6 +25,11 @@ type t
 
 val create : ?pc:int -> ?priv:priv -> ?mtvec:int -> memory -> t
 
+val reset : ?pc:int -> ?priv:priv -> ?mtvec:int -> t -> unit
+(** Return [t] to the state [create] with the same arguments would build
+    (zero registers and CSRs, [mpp = User]) while keeping its memory
+    closures.  Used to re-arm a pooled core for a new stimulus. *)
+
 val pc : t -> int
 val priv : t -> priv
 val reg : t -> Reg.t -> int
@@ -53,6 +58,13 @@ val step : t -> step
 (** Executes one instruction.  On a trap the CSRs are updated and control
     transfers to [mtvec] (exactly once — a trap inside the handler while in
     machine mode halts via [Failure], which indicates a broken stimulus). *)
+
+val step_decoded : t -> fetched:(int * Insn.t, Trap.cause) result -> step
+(** [step] with the instruction fetch and decode hoisted out: [fetched]
+    must equal what [t.mem.fetch ~priv:(priv t) ~addr:(pc t)] (followed by
+    {!Decode.decode} on success) would return right now.  Lets a frontend
+    that already fetched and decoded the commit-point word (for prediction
+    lookups) share that work instead of the golden model redoing both. *)
 
 val run : t -> ?fuel:int -> stop:(t -> bool) -> unit -> step list
 (** [run t ~stop ()] steps until [stop t] holds or [fuel] (default 10_000)

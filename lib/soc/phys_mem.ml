@@ -10,6 +10,10 @@ let create () =
 
 let copy t = { data = Bytes.copy t.data; perms = Array.copy t.perms }
 
+let clear t =
+  Bytes.fill t.data 0 (Bytes.length t.data) '\000';
+  Array.fill t.perms 0 (Array.length t.perms) Perm.rwx
+
 let in_range t addr = addr >= 0 && addr < Bytes.length t.data
 
 let set_perm t addr p =
@@ -24,16 +28,48 @@ let read_byte t addr =
 let write_byte t addr v =
   if in_range t addr then Bytes.set t.data addr (Char.chr (v land 0xFF))
 
-let read t ~addr ~size =
+(* The byte loops below are the semantic reference: out-of-range bytes
+   read as zero / drop silently, and int values are (de)composed through
+   their low [8*size] bits — for [size = 8] that means the 63-bit native
+   int pattern with bit 63 masked off.  The word-sized fast paths must
+   reproduce those bit patterns exactly (simulated memory feeds
+   [Core.state_hash] and the checkpoint stream, both byte-identity
+   sensitive), hence the [land] masks around the [Bytes] primitives. *)
+
+let read_slow t ~addr ~size =
   let rec go i acc =
     if i = size then acc else go (i + 1) (acc lor (read_byte t (addr + i) lsl (8 * i)))
   in
   go 0 0
 
-let write t ~addr ~size v =
+let read t ~addr ~size =
+  if addr >= 0 && size > 0 && addr + size <= Bytes.length t.data then
+    match size with
+    | 8 -> Int64.to_int (Bytes.get_int64_le t.data addr)
+    | 4 -> Int32.to_int (Bytes.get_int32_le t.data addr) land 0xFFFFFFFF
+    | 2 -> Bytes.get_uint16_le t.data addr
+    | 1 -> Bytes.get_uint8 t.data addr
+    | _ -> read_slow t ~addr ~size
+  else read_slow t ~addr ~size
+
+let write_slow t ~addr ~size v =
   for i = 0 to size - 1 do
     write_byte t (addr + i) ((v lsr (8 * i)) land 0xFF)
   done
+
+let write t ~addr ~size v =
+  if addr >= 0 && size > 0 && addr + size <= Bytes.length t.data then
+    match size with
+    | 8 ->
+        (* byte 7's top bit is always written as 0: [v lsr 56] of a 63-bit
+           int has no bit 7 *)
+        Bytes.set_int64_le t.data addr
+          (Int64.logand (Int64.of_int v) Int64.max_int)
+    | 4 -> Bytes.set_int32_le t.data addr (Int32.of_int v)
+    | 2 -> Bytes.set_uint16_le t.data addr (v land 0xFFFF)
+    | 1 -> Bytes.set_uint8 t.data addr (v land 0xFF)
+    | _ -> write_slow t ~addr ~size v
+  else write_slow t ~addr ~size v
 
 let write_words t addr ws =
   Array.iteri (fun i w -> write t ~addr:(addr + (4 * i)) ~size:4 w) ws

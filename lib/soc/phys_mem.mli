@@ -14,6 +14,11 @@ val create : unit -> t
 
 val copy : t -> t
 
+val clear : t -> unit
+(** Return the memory to its {!create} state in place: all bytes zero, all
+    pages [Perm.rwx].  Used by the executor instance pool to re-arm a core
+    without reallocating the backing store. *)
+
 val set_perm : t -> int -> Perm.t -> unit
 (** [set_perm t addr p] sets the permission of the page containing [addr]. *)
 

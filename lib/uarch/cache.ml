@@ -26,6 +26,13 @@ let access t ~addr =
 
 let invalidate_all t = Array.iter (fun l -> l.valid <- false) t.lines
 
+let reset t =
+  Array.iter
+    (fun l ->
+      l.valid <- false;
+      l.tag <- 0)
+    t.lines
+
 let valid t i = t.lines.(i).valid
 
 let line_addr t i = t.lines.(i).tag * t.line_bytes
@@ -40,6 +47,14 @@ module Lfb = struct
   let create ~entries =
     { slots = Array.init entries (fun _ -> { data = 0; mshr_valid = false });
       next = 0 }
+
+  let reset t =
+    Array.iter
+      (fun s ->
+        s.data <- 0;
+        s.mshr_valid <- false)
+      t.slots;
+    t.next <- 0
 
   let refill t ~data =
     let i = t.next in

@@ -25,6 +25,11 @@ val access : t -> addr:int -> [ `Hit of int | `Miss of int ]
 val invalidate_all : t -> unit
 (** Flush (fence.i / swap-time icache flush). *)
 
+val reset : t -> unit
+(** Back to the [create] state: every line invalid {e and} its tag zeroed
+    (unlike [invalidate_all], which leaves stale tags — invisible to
+    lookups but hashed by [Core.state_hash]). *)
+
 val valid : t -> int -> bool
 
 val line_addr : t -> int -> int
@@ -37,6 +42,10 @@ module Lfb : sig
   type t
 
   val create : entries:int -> t
+
+  val reset : t -> unit
+  (** Back to the [create] state: data zeroed (it is hashed even in dead
+      slots), MSHR valid bits clear, allocation cursor at slot 0. *)
 
   val refill : t -> data:int -> int
   (** A refill passes through the LFB: allocates the next slot round-robin,

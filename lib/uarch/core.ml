@@ -47,7 +47,7 @@ type window = {
 
 type t = {
   cfg : Config.t;
-  stim : stimulus;
+  mutable stim : stimulus;
   mem : Phys_mem.t;
   arch : Golden.t;
   bht : P.Bht.t;
@@ -134,6 +134,49 @@ let create cfg stim =
   in
   ignore (swap_in t);
   t
+
+(* Re-arm an existing core for a new stimulus without reallocating any of
+   its state.  Must leave [t] bit-identical (under [state_hash] and every
+   observable) to [create t.cfg stim]: zeroed memory and predictor tags, not
+   just cleared valid bits, because dead state is still hashed. *)
+let reset t stim =
+  Phys_mem.clear t.mem;
+  Swapmem.reset stim.st_swapmem;
+  Array.iteri
+    (fun i v ->
+      Phys_mem.write t.mem ~addr:(Layout.secret_base + (8 * i)) ~size:8 v)
+    stim.st_secret;
+  List.iter
+    (fun (addr, v) -> Phys_mem.write t.mem ~addr ~size:8 v)
+    stim.st_data;
+  List.iter (fun (addr, p) -> Phys_mem.set_perm t.mem addr p) stim.st_perms;
+  Golden.reset ~pc:Layout.swap_entry ~priv:Golden.User ~mtvec:Layout.mtvec
+    t.arch;
+  P.Bht.reset t.bht;
+  P.Btb.reset t.btb;
+  P.Ras.reset t.ras;
+  P.Loop.reset t.loop;
+  P.Mdp.reset t.mdp;
+  Cache.reset t.icache;
+  Cache.reset t.dcache;
+  Cache.Lfb.reset t.lfb;
+  Tlb.reset t.tlb;
+  Tlb.reset t.l2tlb;
+  Lsu.Stq.reset t.stq;
+  Lsu.Ldq.reset t.ldq;
+  t.stim <- stim;
+  t.cycles <- 0;
+  t.slot <- 0;
+  t.committed <- 0;
+  t.fetch_busy_until <- 0;
+  t.fdiv_busy_until <- 0;
+  t.load_wb_busy_until <- 0;
+  t.lsu_busy_until <- 0;
+  t.window <- None;
+  t.windows <- [];
+  t.done_ <- false;
+  t.secret_tightened <- false;
+  ignore (swap_in t)
 
 let config t = t.cfg
 let arch_reg t r = Golden.reg t.arch r
@@ -370,8 +413,9 @@ let step_transient t w =
   end
   else begin
   let pc = w.w_spec_pc in
+  (* Newest-first accumulator, as in [step_committed]. *)
   let events = ref [] and cost = ref 0 in
-  let emit es = events := !events @ es in
+  let emit es = events := List.rev_append es !events in
   let fetch_events, fetch_cost = fetch_access t ~transient:true pc in
   emit fetch_events;
   cost := !cost + fetch_cost;
@@ -544,7 +588,7 @@ let step_transient t w =
   let close_events = if closed then close_window t w else [] in
   { Effect.sl_pc = pc; sl_insn = insn; sl_transient = true;
     sl_window_opened = None; sl_window_closed = closed;
-    sl_events = !events @ close_events;
+    sl_events = List.rev_append !events close_events;
     sl_cycles = t.cycles; sl_committed = false; sl_swapped = false }
   end
 
@@ -556,17 +600,24 @@ let step_committed t =
   let pc = Golden.pc t.arch in
   if t.cfg.Config.fetch_contention_bug then
     t.cycles <- max t.cycles t.fetch_busy_until;
+  (* [events] accumulates newest-first ([List.rev] at the end) so each
+     [emit] is O(|es|) instead of copying the whole tail. *)
   let events = ref [] and cost = ref 0 in
-  let emit es = events := !events @ es in
+  let emit es = events := List.rev_append es !events in
   let fetch_events, fetch_cost = fetch_access t ~transient:false pc in
   emit fetch_events;
   cost := !cost + fetch_cost;
   (* Fetch-stage prediction state, consulted before architectural
-     execution resolves the truth. *)
-  let prefetch =
+     execution resolves the truth.  One fetch+decode feeds both the
+     prediction lookups and the golden model ([Golden.step_decoded]
+     below) — the commit-point word cannot change in between. *)
+  let fetched =
     match Phys_mem.checked_fetch t.mem ~priv:(Golden.priv t.arch) ~addr:pc with
-    | Error _ -> None
-    | Ok word -> Some (Decode.decode word)
+    | Error cause -> Error cause
+    | Ok word -> Ok (word, Decode.decode word)
+  in
+  let prefetch =
+    match fetched with Error _ -> None | Ok (_, i) -> Some i
   in
   let predicted_taken =
     match prefetch with
@@ -626,7 +677,7 @@ let step_committed t =
           | _ -> None)
     | _ -> None
   in
-  let s = Golden.step t.arch in
+  let s = Golden.step_decoded t.arch ~fetched in
   let insn = s.Golden.s_insn in
   let rob = rob_elem t in
   t.committed <- t.committed + 1;
@@ -799,7 +850,7 @@ let step_committed t =
   t.cycles <- t.cycles + !cost;
   { Effect.sl_pc = pc; sl_insn = insn; sl_transient = false;
     sl_window_opened = !window_opened; sl_window_closed = false;
-    sl_events = !events; sl_cycles = t.cycles; sl_committed = true;
+    sl_events = List.rev !events; sl_cycles = t.cycles; sl_committed = true;
     sl_swapped = !swapped }
 
 let step t =

@@ -46,6 +46,12 @@ val create : Config.t -> stimulus -> t
 (** Builds a core over a fresh memory, writes secrets and operand data,
     loads the first scheduled blob and points fetch at its entry. *)
 
+val reset : t -> stimulus -> unit
+(** Re-arms an existing core for a new stimulus without reallocating:
+    after [reset t stim] the core is bit-identical (state hash, windows,
+    cycle counts, every observable) to [create (config t) stim].  The
+    pooling fast path behind {!Dejavuzz.Simpool}. *)
+
 val config : t -> Config.t
 val mem : t -> Dvz_soc.Phys_mem.t
 

@@ -120,6 +120,54 @@ let create ?provenance ?(log_bound = Dvz_ift.Taintlog.Unbounded)
     log_len = 0; slots = 0; taint_hwm = 0;
     hung = false; corrupted = false; timed_out = false }
 
+(* Re-arm a built instance with a new stimulus.  Mirrors [create]'s setup
+   exactly — same secret-variant derivation, same schedule-preserving copy
+   of the swappable memory for instance B, same taint-origin stamping — but
+   reuses both cores' state (via [Core.reset]) and the taint tables, so no
+   netlist-sized allocation happens.  [mode] and [log_bound] stay what they
+   were at [create]; the pool keys on them. *)
+let reset ?secret_b t stim =
+  let secret_b =
+    match secret_b with
+    | Some s -> s
+    | None -> default_secret_b stim.Core.st_secret
+  in
+  if Array.length secret_b <> Array.length stim.Core.st_secret then
+    invalid_arg
+      (Printf.sprintf
+         "Dualcore.reset: secret arity mismatch: secret_b has %d dwords but \
+          the stimulus secret has %d"
+         (Array.length secret_b)
+         (Array.length stim.Core.st_secret));
+  let swap_b =
+    Swapmem.with_schedule stim.Core.st_swapmem
+      (Swapmem.schedule stim.Core.st_swapmem)
+  in
+  let stim_b =
+    { stim with Core.st_secret = secret_b; Core.st_swapmem = swap_b }
+  in
+  Core.reset t.core_a stim;
+  Core.reset t.core_b stim_b;
+  Taintstate.reset t.taint;
+  (match t.prov with
+  | Some p -> Dvz_ift.Provenance.set_context p ~time:(-1) ~in_window:false
+  | None -> ());
+  Array.iteri
+    (fun i _ ->
+      let e = Elem.Mem ((Layout.secret_base / 8) + i) in
+      (match t.prov with
+      | Some p -> Dvz_ift.Provenance.source p (Elem.to_string e)
+      | None -> ());
+      Taintstate.set_tainted t.taint e)
+    stim.Core.st_secret;
+  t.log <- [];
+  t.log_len <- 0;
+  t.slots <- 0;
+  t.taint_hwm <- 0;
+  t.hung <- false;
+  t.corrupted <- false;
+  t.timed_out <- false
+
 let core_a t = t.core_a
 let core_b t = t.core_b
 let taint t = t.taint

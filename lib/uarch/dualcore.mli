@@ -67,6 +67,15 @@ val create :
     in [r_log] for long campaigns; the taint state, metrics and high-water
     mark are unaffected by discarded entries. *)
 
+val reset : ?secret_b:int array -> t -> Core.stimulus -> unit
+(** [reset t stim] re-arms a built testbench for a new stimulus without
+    reallocating either core or the taint tables: afterwards [t] behaves
+    bit-identically to [create ~mode ~log_bound cfg stim] with the [mode]
+    and [log_bound] it was created with ([secret_b] defaults as in
+    [create]).  This is the pooling fast path used by
+    {!Dejavuzz.Simpool}; the pooled-vs-fresh property tests in
+    [test_fuzz.ml] pin the equivalence. *)
+
 val core_a : t -> Core.t
 val core_b : t -> Core.t
 val taint : t -> Taintstate.t

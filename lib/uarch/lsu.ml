@@ -22,6 +22,20 @@ module Stq = struct
   let create ~entries =
     { slots = Array.init entries (fun _ -> mk_entry ()); next = 0; seq = 0 }
 
+  let reset t =
+    Array.iter
+      (fun e ->
+        e.valid <- false;
+        e.addr <- 0;
+        e.size <- 0;
+        e.data <- 0;
+        e.old_data <- 0;
+        e.resolve_at <- 0;
+        e.seq <- 0)
+      t.slots;
+    t.next <- 0;
+    t.seq <- 0
+
   let alloc t ~addr ~size ~data ?(old_data = 0) ~resolve_at () =
     let i = t.next in
     t.next <- (t.next + 1) mod Array.length t.slots;
@@ -90,6 +104,14 @@ module Ldq = struct
   let create ~entries =
     { slots = Array.init entries (fun _ -> { valid = false; addr = 0 });
       next = 0 }
+
+  let reset t =
+    Array.iter
+      (fun e ->
+        e.valid <- false;
+        e.addr <- 0)
+      t.slots;
+    t.next <- 0
 
   let alloc t ~addr =
     let i = t.next in

@@ -17,6 +17,10 @@ module Stq : sig
 
   val create : entries:int -> t
 
+  val reset : t -> unit
+  (** Back to the [create] state: all slots invalid and zeroed, allocation
+      and sequence cursors at 0. *)
+
   val alloc :
     t -> addr:int -> size:int -> data:int -> ?old_data:int ->
     resolve_at:int -> unit -> int
@@ -46,6 +50,10 @@ module Ldq : sig
   type snapshot
 
   val create : entries:int -> t
+
+  val reset : t -> unit
+  (** Back to the [create] state: all slots invalid and zeroed, cursor 0. *)
+
   val alloc : t -> addr:int -> int
   val valid : t -> int -> bool
   val entries : t -> int

@@ -3,6 +3,8 @@ module Bht = struct
 
   let create ~entries = { counters = Array.make entries 1 }
 
+  let reset t = Array.fill t.counters 0 (Array.length t.counters) 1
+
   let index t ~pc = (pc lsr 2) land (Array.length t.counters - 1)
 
   let predict_taken t ~pc = t.counters.(index t ~pc) >= 2
@@ -31,6 +33,15 @@ module Btb = struct
         Array.init entries (fun _ ->
             { valid = false; tag = 0; word = 0; target = 0 });
       tagged }
+
+  let reset t =
+    Array.iter
+      (fun e ->
+        e.valid <- false;
+        e.tag <- 0;
+        e.word <- 0;
+        e.target <- 0)
+      t.entries
 
   let index t ~pc = (pc lsr 2) land (Array.length t.entries - 1)
 
@@ -62,6 +73,11 @@ module Ras = struct
   type snapshot = { s_stack : int array; s_tos : int; s_depth : int }
 
   let create ~entries = { stack = Array.make entries 0; tos = 0; depth = 0 }
+
+  let reset t =
+    Array.fill t.stack 0 (Array.length t.stack) 0;
+    t.tos <- 0;
+    t.depth <- 0
 
   let size t = Array.length t.stack
 
@@ -117,6 +133,14 @@ module Loop = struct
   let create ~entries =
     { entries = Array.init entries (fun _ -> { valid = false; tag = 0; streak = 0 }) }
 
+  let reset t =
+    Array.iter
+      (fun e ->
+        e.valid <- false;
+        e.tag <- 0;
+        e.streak <- 0)
+      t.entries
+
   let enabled t = Array.length t.entries > 0
 
   let index t ~pc =
@@ -145,6 +169,8 @@ module Mdp = struct
   type t = { alias : bool array }
 
   let create ~entries = { alias = Array.make entries false }
+
+  let reset t = Array.fill t.alias 0 (Array.length t.alias) false
 
   let index t ~pc = (pc lsr 2) land (Array.length t.alias - 1)
 

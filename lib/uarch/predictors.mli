@@ -14,6 +14,9 @@ module Bht : sig
   type t
 
   val create : entries:int -> t
+  val reset : t -> unit
+  (** All counters back to the weakly-not-taken [create] state. *)
+
   val index : t -> pc:int -> int
   val predict_taken : t -> pc:int -> bool
   val update : t -> pc:int -> taken:bool -> int
@@ -29,6 +32,9 @@ module Btb : sig
   val create : ?tagged:bool -> entries:int -> unit -> t
   (** [tagged] (default true): whether lookups require an exact pc-tag
       match; untagged BTBs hit on index aliasing. *)
+
+  val reset : t -> unit
+  (** Invalidate and zero every entry (back to the [create] state). *)
 
   val index : t -> pc:int -> int
 
@@ -50,6 +56,10 @@ module Ras : sig
   type snapshot
 
   val create : entries:int -> t
+
+  val reset : t -> unit
+  (** Empty the stack and zero every slot (back to the [create] state). *)
+
   val push : t -> int -> int
   (** Pushes a return address; returns the written slot. *)
 
@@ -80,6 +90,9 @@ module Loop : sig
   val create : entries:int -> t
   (** [entries = 0] builds a disabled predictor (XiangShan MinimalConfig). *)
 
+  val reset : t -> unit
+  (** Invalidate and zero every entry (back to the [create] state). *)
+
   val enabled : t -> bool
   val index : t -> pc:int -> int option
   val update : t -> pc:int -> taken:bool -> int option
@@ -94,6 +107,9 @@ module Mdp : sig
   type t
 
   val create : entries:int -> t
+  val reset : t -> unit
+  (** Forget every trained alias (back to the [create] state). *)
+
   val index : t -> pc:int -> int
   val predicts_alias : t -> pc:int -> bool
   (** Optimistic default: loads are predicted independent of older stores. *)

@@ -16,18 +16,29 @@ type t = {
           taint transitions — [tainted_by_module] is read once per logged
           slot, and rebuilding it by walking every tainted element (each
           [Elem.module_of] call formats a bank name) dominated the log *)
+  mutable bymod_cache : (string * int) list option;
+      (** memoised [tainted_by_module] result, dropped on any taint
+          transition: most logged slots see no transition, so the log
+          shares one list instead of folding and sorting per slot *)
   prov : Provenance.t option;
 }
 
 let create ?provenance mode =
   { mode; taints = Hashtbl.create 256; saved = Hashtbl.create 64;
-    by_module = Hashtbl.create 16; prov = provenance }
+    by_module = Hashtbl.create 16; bymod_cache = None; prov = provenance }
 
 let mode t = t.mode
+
+let reset t =
+  Hashtbl.reset t.taints;
+  Hashtbl.reset t.saved;
+  Hashtbl.reset t.by_module;
+  t.bymod_cache <- None
 
 let set_tainted t e =
   if not (Hashtbl.mem t.taints e) then begin
     Hashtbl.replace t.taints e ();
+    t.bymod_cache <- None;
     let m = Elem.module_of e in
     let cur = try Hashtbl.find t.by_module m with Not_found -> 0 in
     Hashtbl.replace t.by_module m (cur + 1)
@@ -36,6 +47,7 @@ let set_tainted t e =
 let clear_tainted t e =
   if Hashtbl.mem t.taints e then begin
     Hashtbl.remove t.taints e;
+    t.bymod_cache <- None;
     let m = Elem.module_of e in
     match Hashtbl.find_opt t.by_module m with
     | Some n when n <= 1 -> Hashtbl.remove t.by_module m
@@ -192,5 +204,12 @@ let tainted_elems t =
   List.sort Elem.compare (Hashtbl.fold (fun e () acc -> e :: acc) t.taints [])
 
 let tainted_by_module t =
-  List.sort compare
-    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_module [])
+  match t.bymod_cache with
+  | Some l -> l
+  | None ->
+      let l =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_module [])
+      in
+      t.bymod_cache <- Some l;
+      l

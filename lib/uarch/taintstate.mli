@@ -30,6 +30,10 @@ val create : ?provenance:Dvz_ift.Provenance.t -> Dvz_ift.Policy.mode -> t
 
 val mode : t -> Dvz_ift.Policy.mode
 
+val reset : t -> unit
+(** Drop every taint, saved checkpoint and per-module count — back to the
+    [create] state (the provenance recorder, if any, is kept as-is). *)
+
 val set_tainted : t -> Elem.t -> unit
 (** Marks a taint source (e.g. the secret region's memory words). *)
 

@@ -27,3 +27,10 @@ let valid t i = t.entries.(i).valid
 let num_entries t = Array.length t.entries
 
 let invalidate_all t = Array.iter (fun e -> e.valid <- false) t.entries
+
+let reset t =
+  Array.iter
+    (fun e ->
+      e.valid <- false;
+      e.tag <- 0)
+    t.entries

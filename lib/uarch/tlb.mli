@@ -17,3 +17,6 @@ val valid : t -> int -> bool
 val num_entries : t -> int
 
 val invalidate_all : t -> unit
+
+val reset : t -> unit
+(** Back to the [create] state: entries invalid and tags zeroed. *)

@@ -43,6 +43,25 @@ let worker_index () = Domain.DLS.get worker_key
 
 let available () = Domain.recommended_domain_count ()
 
+(* Requested lanes → lanes actually used: at least 1, never more than the
+   hardware offers.  Oversubscribing domains is strictly harmful for this
+   workload (CPU-bound tasks timeslice against each other), and was one of
+   the constant factors behind the recorded 0.25x jobs=4 scaling on a
+   1-domain box.  The clamp is announced once per process on stderr so
+   campaigns stay byte-identical on stdout/events/checkpoints. *)
+let clamp_noted = Atomic.make false
+
+let effective_lanes requested =
+  let avail = available () in
+  let eff = max 1 (min requested avail) in
+  if eff < requested && not (Atomic.exchange clamp_noted true) then
+    Printf.eprintf
+      "dejavuzz: requested %d lanes but only %d domain%s available; using %d\n%!"
+      requested avail
+      (if avail = 1 then " is" else "s are")
+      eff;
+  eff
+
 (* Capped exponential backoff: the canonical delay schedule for every
    "try again after a failure" seam in the tree — [retry] below and the
    fleet coordinator's worker respawns both draw from it, so tuning the
@@ -89,10 +108,16 @@ let run_task retry f x =
 
 let map ?domains ?retry:policy f xs =
   let n = List.length xs in
-  let domains =
-    match domains with Some d -> d | None -> max 1 (available () - 1)
+  (* [~domains:N] means N *total* lanes (the caller's domain included), so
+     [--jobs 4] executes on exactly 4 lanes — the previous semantics spawned
+     [min N (n-1)] extra domains on top of the caller, making jobs=4 run on
+     5 lanes and oversubscribe small boxes. *)
+  let lanes =
+    match domains with
+    | Some d -> if d < 1 then d else effective_lanes d
+    | None -> effective_lanes (available ())
   in
-  if domains < 1 || n <= 1 then begin
+  if lanes < 2 || n <= 1 then begin
     let m_dom = domain_counter 0 in
     List.map
       (fun x ->
@@ -102,10 +127,17 @@ let map ?domains ?retry:policy f xs =
       xs
   end
   else begin
+    let lanes = min lanes n in
     let arr = Array.of_list xs in
     let results = Array.make n None in
     let errors = Array.make n None in
     let next = Atomic.make 0 in
+    (* Self-scheduled chunked claiming: each [fetch_and_add] claims [chunk]
+       consecutive indices, cutting contention on [next] while staying
+       fine-grained enough (≥ 4 claims per lane on an even split) that one
+       slow task — a timeout, a deep transient window — doesn't leave the
+       other lanes idle behind a static partition. *)
+    let chunk = max 1 (n / (lanes * 4)) in
     let worker idx () =
       let saved = Domain.DLS.get worker_key in
       Domain.DLS.set worker_key idx;
@@ -120,17 +152,21 @@ let map ?domains ?retry:policy f xs =
         (fun () ->
           let m_dom = domain_counter idx in
           let rec go () =
-            let i = Atomic.fetch_and_add next 1 in
-            if i < n then begin
-              Metrics.incr m_tasks;
-              Metrics.incr m_dom;
-              (match run_task policy f arr.(i) with
-              | v -> results.(i) <- Some v
-              | exception e ->
-                  (* Record instead of dying: the domain keeps draining tasks
-                     so Domain.join never deadlocks, and the caller re-raises
-                     the first failure with its real backtrace. *)
-                  errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+            let lo = Atomic.fetch_and_add next chunk in
+            if lo < n then begin
+              let hi = min n (lo + chunk) - 1 in
+              for i = lo to hi do
+                Metrics.incr m_tasks;
+                Metrics.incr m_dom;
+                match run_task policy f arr.(i) with
+                | v -> results.(i) <- Some v
+                | exception e ->
+                    (* Record instead of dying: the domain keeps draining
+                       tasks so Domain.join never deadlocks, and the caller
+                       re-raises the first failure with its real
+                       backtrace. *)
+                    errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+              done;
               go ()
             end
           in
@@ -139,11 +175,8 @@ let map ?domains ?retry:policy f xs =
     let spawned =
       if Profile.armed () then
         Profile.wrap "parallel/dispatch" (fun () ->
-            List.init (min domains (n - 1)) (fun i ->
-                Domain.spawn (worker (i + 1))))
-      else
-        List.init (min domains (n - 1)) (fun i ->
-            Domain.spawn (worker (i + 1)))
+            List.init (lanes - 1) (fun i -> Domain.spawn (worker (i + 1))))
+      else List.init (lanes - 1) (fun i -> Domain.spawn (worker (i + 1)))
     in
     worker 0 ();
     if Profile.armed () then

@@ -875,6 +875,106 @@ let prop_stimulus_buildable =
       let stim = Packet.stimulus ~secret tc in
       stim.Core.st_max_slots > 0)
 
+(* --- instance pool (pooled-vs-fresh bit-identity) ------------------------- *)
+
+module Simpool = Dejavuzz.Simpool
+
+(* Structural equality over the whole [Dualcore.result] is the strongest
+   cheap check: window records, the bounded taint log, slot/cycle/commit
+   counts and all three sink partitions are plain data.  The final core
+   state hashes close the loop on state the result doesn't carry. *)
+let run_result dc =
+  let r = Dualcore.run dc in
+  ( r,
+    Core.state_hash (Dualcore.core_a dc),
+    Core.state_hash (Dualcore.core_b dc) )
+
+let prop_pooled_reset_equals_fresh =
+  QCheck.Test.make
+    ~name:"reset instance bit-identical to fresh create (both modes)"
+    ~count:15
+    QCheck.(pair small_int bool)
+    (fun (e, diffift) ->
+      let mode =
+        if diffift then Dvz_ift.Policy.Diffift else Dvz_ift.Policy.Cellift
+      in
+      let tc_of k =
+        let rng = Rng.create k in
+        Window_gen.complete boom (Trigger_gen.generate boom (Seed.random rng))
+      in
+      let tc_prime = tc_of (e + 1000) and tc = tc_of e in
+      let fresh =
+        run_result (Dualcore.create ~mode boom (Packet.stimulus ~secret tc))
+      in
+      (* Dirty an instance with a different stimulus first so the reset
+         path has real state to clear, then re-arm it with the target. *)
+      let dc =
+        Dualcore.create ~mode boom (Packet.stimulus ~secret tc_prime)
+      in
+      ignore (Dualcore.run dc);
+      Dualcore.reset dc (Packet.stimulus ~secret tc);
+      run_result dc = fresh)
+
+let prop_pooled_oracle_analysis_stable =
+  QCheck.Test.make
+    ~name:"oracle analysis identical from cold and warm pools (both modes)"
+    ~count:10
+    QCheck.(pair small_int bool)
+    (fun (e, diffift) ->
+      let mode =
+        if diffift then Dvz_ift.Policy.Diffift else Dvz_ift.Policy.Cellift
+      in
+      let rng = Rng.create e in
+      let tc =
+        Window_gen.complete boom (Trigger_gen.generate boom (Seed.random rng))
+      in
+      Simpool.clear ();
+      let cold = Oracle.analyze ~mode boom ~secret tc in
+      let warm = Oracle.analyze ~mode boom ~secret tc in
+      (* Prime the pool with a different key so the next analysis goes
+         through a create-after-mismatch, then an in-analysis reset. *)
+      let other = Oracle.analyze ~mode xs ~secret tc in
+      ignore other.Oracle.a_timed_out;
+      let recreated = Oracle.analyze ~mode boom ~secret tc in
+      cold = warm && cold = recreated)
+
+let test_simpool_identity_and_keys () =
+  Simpool.clear ();
+  Alcotest.(check bool) "empty after clear" true (Simpool.cached () = None);
+  let tc = completed_tc 61 in
+  let stim () = Packet.stimulus ~secret tc in
+  let d1 = Simpool.acquire boom (stim ()) in
+  let d2 = Simpool.acquire boom (stim ()) in
+  Alcotest.(check bool) "same key reuses the instance" true (d1 == d2);
+  let d3 = Simpool.acquire ~mode:Dvz_ift.Policy.Cellift boom (stim ()) in
+  Alcotest.(check bool) "mode is part of the key" true (not (d1 == d3));
+  (match Simpool.cached () with
+  | Some (cfg, mode, _) ->
+      Alcotest.(check string) "caches latest cfg" boom.Cfg.name cfg.Cfg.name;
+      Alcotest.(check bool) "caches latest mode" true
+        (mode = Dvz_ift.Policy.Cellift)
+  | None -> Alcotest.fail "pool empty after acquire");
+  Simpool.clear ()
+
+(* The point of pooling is that re-arming is cheap: a reset must allocate
+   orders of magnitude less than a create (which builds a 64 KiB memory,
+   predictor/cache/queue arrays and taint tables for both instances).
+   The residual allocation is the instance-B swapmem copy plus small
+   closures — bounded well under a single create's memory alone. *)
+let test_dualcore_reset_alloc_bound () =
+  let tc = completed_tc 63 in
+  let dc = Dualcore.create boom (Packet.stimulus ~secret tc) in
+  ignore (Dualcore.run dc);
+  (* Warm up one reset so one-time lazy setup stays out of the measure. *)
+  Dualcore.reset dc (Packet.stimulus ~secret tc);
+  let stim = Packet.stimulus ~secret tc in
+  let before = Gc.minor_words () in
+  Dualcore.reset dc stim;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "reset allocates < 4096 words (got %.0f)" delta)
+    true (delta < 4096.0)
+
 let () =
   Alcotest.run "dejavuzz"
     [ ( "seed",
@@ -965,6 +1065,13 @@ let () =
           Alcotest.test_case "dedup" `Quick test_campaign_dedup;
           Alcotest.test_case "report" `Quick test_report_rendering;
           Alcotest.test_case "window groups" `Quick test_window_group ] );
+      ( "simpool",
+        [ Alcotest.test_case "identity and keys" `Quick
+            test_simpool_identity_and_keys;
+          Alcotest.test_case "reset allocation bound" `Quick
+            test_dualcore_reset_alloc_bound;
+          QCheck_alcotest.to_alcotest prop_pooled_reset_equals_fresh;
+          QCheck_alcotest.to_alcotest prop_pooled_oracle_analysis_stable ] );
       ( "explain",
         [ Alcotest.test_case "meltdown slice" `Quick test_explain_meltdown;
           Alcotest.test_case "spectre slice" `Quick test_explain_spectre;

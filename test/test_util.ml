@@ -184,6 +184,35 @@ let test_parallel_worker_index () =
   Alcotest.(check int) "slot restored after the map" 0
     (Dvz_util.Parallel.worker_index ())
 
+(* Regression for the worker-count off-by-one: [~domains:N] means N total
+   lanes, so no task may ever observe a worker index >= N (the old code
+   spawned [min N (n-1)] domains *plus* ran the caller as worker 0, putting
+   [--jobs 4] on 5 lanes). *)
+let test_parallel_total_lanes () =
+  List.iter
+    (fun domains ->
+      let idxs =
+        Dvz_util.Parallel.map ~domains
+          (fun _ -> Dvz_util.Parallel.worker_index ())
+          (List.init 32 (fun i -> i))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "indices < %d total lanes" domains)
+        true
+        (List.for_all (fun i -> i >= 0 && i < domains) idxs))
+    [ 1; 2; 3; 4 ]
+
+let test_parallel_effective_lanes () =
+  let avail = Dvz_util.Parallel.available () in
+  Alcotest.(check int) "0 clamps up to 1" 1
+    (Dvz_util.Parallel.effective_lanes 0);
+  Alcotest.(check int) "within hardware is identity" 1
+    (Dvz_util.Parallel.effective_lanes 1);
+  Alcotest.(check int) "clamped to available" avail
+    (Dvz_util.Parallel.effective_lanes (avail + 5));
+  Alcotest.(check int) "available itself passes through" avail
+    (Dvz_util.Parallel.effective_lanes avail)
+
 exception Transient_glitch
 
 (* map must agree with List.map in order and content for every domain
@@ -240,6 +269,10 @@ let () =
             test_parallel_map_sequential_fallback;
           Alcotest.test_case "available" `Quick test_parallel_available;
           Alcotest.test_case "worker index" `Quick test_parallel_worker_index;
+          Alcotest.test_case "domains means total lanes" `Quick
+            test_parallel_total_lanes;
+          Alcotest.test_case "effective lanes clamp" `Quick
+            test_parallel_effective_lanes;
           QCheck_alcotest.to_alcotest prop_parallel_map_equals_list_map ] );
       ( "tablefmt",
         [ Alcotest.test_case "render" `Quick test_table_render;
