@@ -264,6 +264,72 @@ module Simbench = struct
         ("pooled_ns", Dvz_obs.Json.Float pooled_ns);
         ("speedup", Dvz_obs.Json.Float (fresh_ns /. Float.max 1.0 pooled_ns)) ]
 
+  (* What one telemetry flush costs the plane: encoding a realistic
+     worker batch for the wire, decoding it coordinator-side, and
+     merging its cumulative metrics snapshot into a slot aggregate.
+     Flushes ride the heartbeat cadence (~1/s per worker), so these are
+     recorded, not gated — the numbers document how far off any hot
+     path the plane sits. *)
+  let telemetry_report () =
+    let reg = Dvz_obs.Metrics.create () in
+    for i = 0 to 15 do
+      let c =
+        Dvz_obs.Metrics.counter reg ~help:"bench telemetry counter"
+          (Printf.sprintf "dvz_bench_counter_%d_total" i)
+      in
+      Dvz_obs.Metrics.incr ~by:(i * 3) c
+    done;
+    let h = Dvz_obs.Metrics.histogram reg "dvz_bench_seconds" in
+    for i = 1 to 64 do
+      Dvz_obs.Metrics.observe h (float_of_int i /. 100.0)
+    done;
+    let snap = Dvz_obs.Metrics.snapshot reg in
+    let profile =
+      List.init 24 (fun i ->
+          { Dvz_obs.Profile.pf_path = Printf.sprintf "campaign/phase%d" i;
+            pf_name = Printf.sprintf "phase%d" i;
+            pf_depth = 1;
+            pf_count = 100 + i;
+            pf_total_s = 0.25;
+            pf_self_s = 0.125;
+            pf_max_s = 0.01 })
+    in
+    let trace =
+      List.init 32 (fun i ->
+          { Dvz_obs.Profile.ev_path = "campaign/iteration";
+            ev_name = "iteration";
+            ev_tid = 1;
+            ev_start = float_of_int i *. 0.001;
+            ev_dur = 0.0005 })
+    in
+    let batch =
+      { Dvz_fleet.Wire.tb_seq = 7;
+        tb_metrics = snap;
+        tb_profile = profile;
+        tb_trace = trace;
+        tb_trace_dropped = 0;
+        tb_events = [ {|{"type":"assign","epoch":3,"plans":8}|} ];
+        tb_events_dropped = 0 }
+    in
+    let payload = Dvz_fleet.Wire.telemetry_to_string batch in
+    let codec () =
+      match
+        Dvz_fleet.Wire.telemetry_of_string
+          (Dvz_fleet.Wire.telemetry_to_string batch)
+      with
+      | Ok _ -> ()
+      | Error e -> failwith ("bench: telemetry codec: " ^ e)
+    in
+    let merge () = ignore (Dvz_obs.Metrics.merge snap snap) in
+    for _ = 1 to 100 do codec () done;
+    let codec_ns = min_of_blocks ~blocks:4 ~per_block:400 codec in
+    let merge_ns = min_of_blocks ~blocks:4 ~per_block:2_000 merge in
+    Dvz_obs.Json.Obj
+      [ ("name", Dvz_obs.Json.Str "fleet/telemetry-flush");
+        ("payload_bytes", Dvz_obs.Json.Int (String.length payload));
+        ("codec_roundtrip_ns", Dvz_obs.Json.Float codec_ns);
+        ("metrics_merge_ns", Dvz_obs.Json.Float merge_ns) ]
+
   let json_report () =
     let ws = workloads () in
     let measured = List.map (fun w -> (w, measure_ns w)) ws in
@@ -299,14 +365,15 @@ module Simbench = struct
           "ir/sim-cycle" ]
     in
     Dvz_obs.Json.Obj
-      [ ("schema", Dvz_obs.Json.Str "dvz-bench-sim/5");
+      [ ("schema", Dvz_obs.Json.Str "dvz-bench-sim/6");
         ("benches", Dvz_obs.Json.Arr bench_objs);
         ("speedups", Dvz_obs.Json.Arr speedups);
         ("e2e", Dvz_obs.Json.Arr (e2e_report ()));
         ("campaign",
          Dvz_obs.Json.Arr
            [ campaign_report (); parallel_overhead_report ();
-             pooled_vs_fresh_report () ]) ]
+             pooled_vs_fresh_report () ]);
+        ("fleet", Dvz_obs.Json.Arr [ telemetry_report () ]) ]
 
   let write_json path =
     let json = json_report () in

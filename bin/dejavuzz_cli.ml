@@ -6,6 +6,8 @@ module Cfg = Dvz_uarch.Config
 module Campaign = Dejavuzz.Campaign
 module E = Dvz_experiments
 
+let version = "1.0.0"
+
 let core_arg =
   let parse s =
     match String.lowercase_ascii s with
@@ -102,12 +104,34 @@ let with_telemetry ?explain_dir file progress every k =
       | None -> ())
     (fun () -> k telemetry)
 
-let dump_metrics = function
+(* [plane] widens both dumps to the whole fleet: the JSON gains a
+   coordinator/workers split and the Prometheus text one [worker="N"]
+   label group per slot. *)
+let worker_groups plane =
+  match plane with
+  | None -> []
+  | Some p ->
+      List.map
+        (fun (slot, snap) -> ([ ("worker", string_of_int slot) ], snap))
+        (Dvz_fleet.Telemetry.worker_metrics p)
+
+let dump_metrics ?plane = function
   | `None -> ()
-  | `Json ->
-      prerr_endline (Dvz_obs.Exporters.render_json Dvz_obs.Metrics.default)
+  | `Json -> (
+      match plane with
+      | None ->
+          prerr_endline (Dvz_obs.Exporters.render_json Dvz_obs.Metrics.default)
+      | Some p ->
+          prerr_endline
+            (Dvz_obs.Json.to_string
+               (Dvz_obs.Exporters.fleet_json
+                  ~coordinator:(Dvz_obs.Metrics.snapshot Dvz_obs.Metrics.default)
+                  ~workers:(Dvz_fleet.Telemetry.worker_metrics p))))
   | `Prometheus ->
-      prerr_string (Dvz_obs.Exporters.prometheus Dvz_obs.Metrics.default)
+      prerr_string
+        (Dvz_obs.Exporters.prometheus_groups
+           (([], Dvz_obs.Metrics.snapshot Dvz_obs.Metrics.default)
+           :: worker_groups plane))
 
 (* --- live observability --------------------------------------------------- *)
 
@@ -158,19 +182,31 @@ let obs_t =
    the campaign publishes to them, and emits the end-of-run artifacts.
    Everything here observes the campaign; nothing feeds back into it.
    [fleet_board] adds a /fleet route serving the coordinator's live
-   per-worker supervision snapshot. *)
-let with_obs ?fleet_board obs telemetry k =
+   per-worker supervision snapshot; [plane] (fleet mode) folds worker
+   telemetry into every surface — [worker="N"] label groups on /metrics,
+   per-worker health on /status and /fleet, and merged end-of-run
+   profile/trace artifacts covering coordinator and workers.
+   [events_ring], when given, serves /events (the fleet coordinator
+   pre-wires it into the plane so worker lifecycle lines land there,
+   slot-labelled, without ever touching the campaign's own event
+   stream). *)
+let with_obs ?fleet_board ?plane ?events_ring obs telemetry k =
   let profiling =
     obs.ob_profile || obs.ob_profile_json <> None || obs.ob_trace_out <> None
   in
   if profiling then
     Dvz_obs.Profile.arm ~trace:(obs.ob_trace_out <> None) ();
+  let started = Unix.gettimeofday () in
   let telemetry, server =
     match obs.ob_serve with
     | None -> (telemetry, None)
     | Some port ->
         let board = Campaign.new_board () in
-        let ring = Dvz_obs.Events.ring () in
+        let ring =
+          match events_ring with
+          | Some r -> r
+          | None -> Dvz_obs.Events.ring ()
+        in
         let events =
           if Dvz_obs.Events.is_null telemetry.Campaign.t_events then ring
           else Dvz_obs.Events.tee telemetry.Campaign.t_events ring
@@ -181,51 +217,88 @@ let with_obs ?fleet_board obs telemetry k =
             Campaign.t_events = events;
             t_board = Some board }
         in
+        let with_fleet_health key j =
+          match (plane, j) with
+          | Some p, Dvz_obs.Json.Obj fields ->
+              Dvz_obs.Json.Obj
+                (fields @ [ (key, Dvz_fleet.Telemetry.health_json p) ])
+          | _ -> j
+        in
         let routes =
-          [ ("/healthz", fun _ -> Dvz_obs.Server.text "ok\n");
+          [ ( "/healthz",
+              fun _ ->
+                Dvz_obs.Server.json
+                  (Dvz_obs.Json.Obj
+                     [ ("version", Dvz_obs.Json.Str version);
+                       ( "uptime_s",
+                         Dvz_obs.Json.Float (Unix.gettimeofday () -. started)
+                       );
+                       ("pid", Dvz_obs.Json.Int (Unix.getpid ()));
+                       ( "mode",
+                         Dvz_obs.Json.Str
+                           (match plane with
+                           | Some _ -> "fleet"
+                           | None -> "local") ) ]) );
             ( "/status",
               fun _ ->
-                match Campaign.board_read board with
-                | Some p -> Dvz_obs.Server.json (Campaign.progress_json p)
-                | None ->
-                    Dvz_obs.Server.json
-                      (Dvz_obs.Json.Obj
-                         [ ("phase", Dvz_obs.Json.Str "starting") ]) );
+                let base =
+                  match Campaign.board_read board with
+                  | Some p -> Campaign.progress_json p
+                  | None ->
+                      Dvz_obs.Json.Obj
+                        [ ("phase", Dvz_obs.Json.Str "starting") ]
+                in
+                Dvz_obs.Server.json (with_fleet_health "fleet" base) );
             ( "/metrics",
               fun _ ->
                 { Dvz_obs.Server.status = 200;
                   content_type = "text/plain; version=0.0.4";
-                  body = Dvz_obs.Exporters.prometheus registry } );
+                  body =
+                    Dvz_obs.Exporters.prometheus_groups
+                      (([], Dvz_obs.Metrics.snapshot registry)
+                      :: worker_groups plane) } );
             ( "/events",
               fun query ->
-                let n =
-                  match List.assoc_opt "n" query with
-                  | Some s -> ( match int_of_string_opt s with
-                               | Some n when n > 0 -> n
-                               | _ -> 50)
-                  | None -> 50
-                in
-                let lines = Dvz_obs.Events.recent ring n in
-                { Dvz_obs.Server.status = 200;
-                  content_type = "application/x-ndjson";
-                  body =
-                    (match lines with
-                    | [] -> ""
-                    | _ -> String.concat "\n" lines ^ "\n") } ) ]
+                match Dvz_obs.Server.int_param ~default:50 "n" query with
+                | Error resp -> resp
+                | Ok n ->
+                    let keep =
+                      match List.assoc_opt "kind" query with
+                      | None -> fun _ -> true
+                      | Some kind -> (
+                          fun line ->
+                            match Dvz_obs.Json.of_string line with
+                            | Ok j -> (
+                                match Dvz_obs.Json.member "type" j with
+                                | Some (Dvz_obs.Json.Str t) -> t = kind
+                                | _ -> false)
+                            | Error _ -> false)
+                    in
+                    let lines =
+                      List.filter keep
+                        (Dvz_obs.Events.recent ring (max 0 n))
+                    in
+                    { Dvz_obs.Server.status = 200;
+                      content_type = "application/x-ndjson";
+                      body =
+                        (match lines with
+                        | [] -> ""
+                        | _ -> String.concat "\n" lines ^ "\n") } ) ]
           @
           match fleet_board with
           | None -> []
           | Some fb ->
               [ ( "/fleet",
                   fun _ ->
-                    match Dvz_fleet.Coordinator.board_read fb with
-                    | Some s ->
-                        Dvz_obs.Server.json
-                          (Dvz_fleet.Coordinator.snapshot_json s)
-                    | None ->
-                        Dvz_obs.Server.json
-                          (Dvz_obs.Json.Obj
-                             [ ("phase", Dvz_obs.Json.Str "starting") ]) ) ]
+                    let base =
+                      match Dvz_fleet.Coordinator.board_read fb with
+                      | Some s -> Dvz_fleet.Coordinator.snapshot_json s
+                      | None ->
+                          Dvz_obs.Json.Obj
+                            [ ("phase", Dvz_obs.Json.Str "starting") ]
+                    in
+                    Dvz_obs.Server.json (with_fleet_health "telemetry" base)
+                ) ]
         in
         (match Dvz_obs.Server.start ~port ~routes () with
         | Error e ->
@@ -240,7 +313,13 @@ let with_obs ?fleet_board obs telemetry k =
     ~finally:(fun () ->
       (match server with Some sv -> Dvz_obs.Server.stop sv | None -> ());
       if profiling then begin
-        let entries = Dvz_obs.Profile.snapshot () in
+        let own = Dvz_obs.Profile.snapshot () in
+        let entries =
+          match plane with
+          | None -> own
+          | Some p ->
+              Dvz_obs.Profile.merge own (Dvz_fleet.Telemetry.merged_profile p)
+        in
         if obs.ob_profile then
           prerr_string (Dvz_obs.Profile.render_table entries);
         (match obs.ob_profile_json with
@@ -257,7 +336,13 @@ let with_obs ?fleet_board obs telemetry k =
               Printf.eprintf
                 "dejavuzz: trace buffer overflowed; %d regions dropped\n"
                 dropped;
-            Dvz_obs.Trace_event.write_file f (Dvz_obs.Profile.events ())
+            let own_events = Dvz_obs.Profile.events () in
+            (match plane with
+            | None -> Dvz_obs.Trace_event.write_file f own_events
+            | Some p ->
+                Dvz_obs.Trace_event.write_file_multi f
+                  ((1, "dejavuzz coordinator", own_events)
+                  :: Dvz_fleet.Telemetry.trace_groups p))
         | None -> ());
         Dvz_obs.Profile.disarm ()
       end)
@@ -488,6 +573,15 @@ let fleet_cmd =
             coverage_guided = not no_coverage }
         in
         let fleet_board = Dvz_fleet.Coordinator.new_board () in
+        (* Worker lifecycle events land in this ring (slot-labelled by
+           the plane) for /events — never in the campaign's own event
+           stream, which must stay byte-identical to --jobs 1. *)
+        let events_ring = Dvz_obs.Events.ring () in
+        let plane = Dvz_fleet.Telemetry.create ~events:events_ring () in
+        let profiling =
+          obs.ob_profile || obs.ob_profile_json <> None
+          || obs.ob_trace_out <> None
+        in
         let opts =
           { Dvz_fleet.Coordinator.default_opts with
             Dvz_fleet.Coordinator.fl_workers = workers;
@@ -495,14 +589,17 @@ let fleet_cmd =
             fl_heartbeat_s = heartbeat_s;
             fl_deadline_s = deadline_s;
             fl_max_respawns = max_respawns;
-            fl_chaos = chaos }
+            fl_chaos = chaos;
+            fl_profile = profiling;
+            fl_trace = obs.ob_trace_out <> None }
         in
         let stats, fstats =
           with_telemetry ?explain_dir telemetry_file progress progress_every
             (fun telemetry ->
-              with_obs ~fleet_board obs telemetry (fun telemetry ->
+              with_obs ~fleet_board ~plane ~events_ring obs telemetry
+                (fun telemetry ->
                   Dvz_fleet.Coordinator.run ~telemetry ~resilience
-                    ~board:fleet_board ~budget_limits opts cfg options))
+                    ~board:fleet_board ~plane ~budget_limits opts cfg options))
         in
         print_string (Dejavuzz.Report.summary stats);
         print_string
@@ -519,7 +616,7 @@ let fleet_cmd =
           fstats.Dvz_fleet.Coordinator.fs_retired
           fstats.Dvz_fleet.Coordinator.fs_heartbeats_missed
           fstats.Dvz_fleet.Coordinator.fs_inline_plans;
-        dump_metrics metrics)
+        dump_metrics ~plane metrics)
   in
   let random_training =
     Arg.(value & flag
@@ -556,11 +653,11 @@ let fleet_cmd =
    [dejavuzz worker --slot K] with the protocol on stdin/stdout.  Not
    meant for humans; it prints nothing to stdout (that is the pipe). *)
 let worker_cmd =
-  let run slot =
+  let run slot incarnation =
     match
       Dvz_fleet.Worker.main
         ~log:(fun line -> Printf.eprintf "dejavuzz worker %d: %s\n%!" slot line)
-        ~slot ~in_fd:Unix.stdin ~out_fd:Unix.stdout ()
+        ~incarnation ~slot ~in_fd:Unix.stdin ~out_fd:Unix.stdout ()
     with
     | () -> ()
     | exception Dvz_resilience.Fault.Killed { iteration; cycle; _ } ->
@@ -576,11 +673,18 @@ let worker_cmd =
   let slot =
     Arg.(value & opt int 0 & info [ "slot" ] ~docv:"K" ~doc:"Worker slot index.")
   in
+  let incarnation =
+    Arg.(value & opt int 0
+         & info [ "incarnation" ] ~docv:"G"
+             ~doc:"Spawn generation of this slot; echoed in telemetry \
+                   frames so the coordinator can drop a dead \
+                   predecessor's in-flight flushes.")
+  in
   Cmd.v
     (Cmd.info "worker"
        ~doc:"(internal) Fleet worker child; speaks the DVZF pipe protocol \
              on stdin/stdout.  Spawned by 'dejavuzz fleet'.")
-    Term.(const run $ slot)
+    Term.(const run $ slot $ incarnation)
 
 let table2_cmd =
   Cmd.v

@@ -51,9 +51,12 @@ type opts = {
   fl_backoff_base_s : float;
   fl_backoff_cap_s : float;
   fl_chaos : (int * int * int) list;
+  fl_profile : bool;
+  fl_trace : bool;
   fl_log : string -> unit;
   fl_launch :
-    (slot:int -> int * Unix.file_descr * Unix.file_descr) option;
+    (slot:int -> incarnation:int -> int * Unix.file_descr * Unix.file_descr)
+    option;
 }
 
 let default_opts =
@@ -65,6 +68,8 @@ let default_opts =
     fl_backoff_base_s = 0.5;
     fl_backoff_cap_s = 30.0;
     fl_chaos = [];
+    fl_profile = false;
+    fl_trace = false;
     fl_log = (fun line -> Printf.eprintf "dejavuzz fleet: %s\n%!" line);
     fl_launch = None }
 
@@ -150,6 +155,7 @@ type st = {
   st_opts : opts;
   st_workers : worker array;
   st_board : board;
+  st_plane : Telemetry.t option;
   mutable st_epoch : int;
   mutable st_config_frame : string option;  (* encoded Config, sent on spawn *)
   mutable st_spawns : int;
@@ -157,6 +163,8 @@ type st = {
   mutable st_hb_missed : int;
   mutable st_inline : int;
 }
+
+let with_plane st f = match st.st_plane with Some p -> f p | None -> ()
 
 let now () = Unix.gettimeofday ()
 
@@ -199,11 +207,12 @@ let publish st =
 (* Default launch: re-exec this binary as [dejavuzz worker --slot K] with
    the protocol on its stdin/stdout (stderr inherited).  Tests inject
    [fl_launch] to fork-without-exec instead. *)
-let exec_launch ~slot =
+let exec_launch ~slot ~incarnation =
   let to_worker_r, to_worker_w = Unix.pipe ~cloexec:false () in
   let from_worker_r, from_worker_w = Unix.pipe ~cloexec:false () in
   let argv =
-    [| Sys.executable_name; "worker"; "--slot"; string_of_int slot |]
+    [| Sys.executable_name; "worker"; "--slot"; string_of_int slot;
+       "--incarnation"; string_of_int incarnation |]
   in
   let pid =
     Unix.create_process Sys.executable_name argv to_worker_r from_worker_w
@@ -246,6 +255,11 @@ let declare_dead st w ~reason =
   let orphans = w.w_assigned in
   w.w_assigned <- [];
   w.w_restarts <- w.w_restarts + 1;
+  (* The dead incarnation's final telemetry batch is folded into the
+     slot's retired aggregates; anything of its still in flight is now
+     stale by incarnation and will be dropped at ingest. *)
+  with_plane st (fun p ->
+      Telemetry.record_restart p ~slot:w.w_slot ~reason);
   if w.w_restarts > st.st_opts.fl_max_respawns then begin
     w.w_state <- Retired;
     logf st
@@ -274,7 +288,12 @@ let spawn st w =
     | Some f -> f
     | None -> exec_launch
   in
-  let pid, to_worker, from_worker = launch ~slot:w.w_slot in
+  (* Deaths so far double as the spawn generation: the worker echoes it
+     in every telemetry frame, which is how a predecessor's leftover
+     flush is recognised as stale. *)
+  let pid, to_worker, from_worker =
+    launch ~slot:w.w_slot ~incarnation:w.w_restarts
+  in
   w.w_pid <- pid;
   w.w_in <- to_worker;
   w.w_out <- from_worker;
@@ -373,8 +392,33 @@ let record_outcome ep w ~iteration payload =
             w.w_assigned;
         Ok ()
 
+(* Telemetry/Hello/Heartbeat bookkeeping shared by the dispatch loop
+   and the shutdown drain.  Observation only: ingest failures never
+   condemn a worker, and nothing here feeds the campaign fold. *)
+let observe_msg st w msg =
+  match msg with
+  | Proto.Hello { h_pid; h_clock_us; _ } ->
+      with_plane st (fun p ->
+          Telemetry.hello p ~slot:w.w_slot ~incarnation:w.w_restarts
+            ~pid:h_pid ~clock_us:h_clock_us)
+  | Proto.Heartbeat { b_done; _ } ->
+      with_plane st (fun p ->
+          Telemetry.heartbeat p ~slot:w.w_slot ~done_count:b_done)
+  | Proto.Telemetry { t_incarnation; t_payload; _ } ->
+      with_plane st (fun p ->
+          match Wire.telemetry_of_string t_payload with
+          | Ok batch ->
+              ignore
+                (Telemetry.ingest p ~slot:w.w_slot
+                   ~incarnation:t_incarnation batch)
+          | Error e ->
+              logf st "worker %d sent an undecodable telemetry payload (%s)"
+                w.w_slot e)
+  | _ -> with_plane st (fun p -> Telemetry.seen p ~slot:w.w_slot)
+
 let handle_msg st ep w msg =
   w.w_last_rx <- now ();
+  observe_msg st w msg;
   match msg with
   | Proto.Hello { h_pid; _ } ->
       if h_pid <> w.w_pid && w.w_pid > 0 then
@@ -384,6 +428,7 @@ let handle_msg st ep w msg =
   | Proto.Heartbeat { b_done; _ } ->
       w.w_done <- max w.w_done b_done;
       Ok ()
+  | Proto.Telemetry _ -> Ok ()
   | Proto.Outcome { o_iteration; o_payload; _ } ->
       record_outcome ep w ~iteration:o_iteration o_payload
   | Proto.Finding _ ->
@@ -465,7 +510,9 @@ let make_spec (opts : opts) ~budget_limits (ctx : Executor.ctx) =
     w_max_slots = max_slots;
     w_max_wall_s = max_wall_s;
     w_jobs = opts.fl_worker_jobs;
-    w_heartbeat_s = opts.fl_heartbeat_s }
+    w_heartbeat_s = opts.fl_heartbeat_s;
+    w_profile = opts.fl_profile;
+    w_trace = opts.fl_trace }
 
 let dispatch_batch st ~budget_limits (ctx : Executor.ctx) plans =
   (match st.st_config_frame with
@@ -599,12 +646,47 @@ let broadcast st msg =
         try write_all w.w_in frame with Unix.Unix_error _ -> ())
     st.st_workers
 
+(* After Shutdown is broadcast each worker sends one last telemetry
+   flush before exiting; read its pipe until EOF (or a short deadline)
+   so that flush lands in the plane instead of dying in the buffer. *)
+let drain_final st w =
+  let deadline = now () +. 1.0 in
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    let remaining = deadline -. now () in
+    if remaining > 0.0 then
+      match Unix.select [ w.w_out ] [] [] remaining with
+      | exception Unix.Unix_error _ -> ()
+      | [], _, _ -> ()
+      | _ ->
+          let n =
+            try Unix.read w.w_out buf 0 (Bytes.length buf)
+            with Unix.Unix_error _ -> 0
+          in
+          if n > 0 then begin
+            Proto.feed w.w_reader buf 0 n;
+            let rec frames () =
+              match Proto.next w.w_reader with
+              | Ok (Some msg) ->
+                  observe_msg st w msg;
+                  frames ()
+              | Ok None | Error _ -> ()
+            in
+            frames ();
+            go ()
+          end
+  in
+  go ()
+
 let shutdown st =
   broadcast st Proto.Shutdown;
   Array.iter
     (fun w ->
       if w.w_state = Live then begin
         close_quietly w.w_in;
+        (match st.st_plane with
+        | Some _ -> ( try drain_final st w with _ -> ())
+        | None -> ());
         (* Give the worker a moment to exit on Shutdown/EOF, then make
            sure. *)
         let deadline = now () +. 1.0 in
@@ -643,7 +725,7 @@ let stats_of st =
     fs_inline_plans = st.st_inline }
 
 let run ?(telemetry = Campaign.quiet) ?(resilience = Campaign.no_resilience)
-    ?board ?(budget_limits = (None, None)) opts cfg options =
+    ?board ?plane ?(budget_limits = (None, None)) opts cfg options =
   if opts.fl_workers < 0 then
     invalid_arg "Coordinator.run: fl_workers must be >= 0";
   (* A worker dying mid-write must surface as EPIPE, not kill us. *)
@@ -667,6 +749,7 @@ let run ?(telemetry = Campaign.quiet) ?(resilience = Campaign.no_resilience)
               w_acked = 0;
               w_assigned = [] });
       st_board = board;
+      st_plane = plane;
       st_epoch = 0;
       st_config_frame = None;
       st_spawns = 0;

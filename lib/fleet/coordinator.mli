@@ -32,11 +32,18 @@ type opts = {
       (** fault-injection hooks for tests/CI: [(epoch, slot, signal)] —
           send [signal] to [slot]'s process right after the epoch's
           initial assignment *)
+  fl_profile : bool;
+      (** arm each worker's profiler; aggregates ride telemetry frames *)
+  fl_trace : bool;  (** also record per-worker trace events *)
   fl_log : string -> unit;  (** lifecycle log lines (default stderr) *)
-  fl_launch : (slot:int -> int * Unix.file_descr * Unix.file_descr) option;
+  fl_launch :
+    (slot:int -> incarnation:int -> int * Unix.file_descr * Unix.file_descr)
+    option;
       (** test seam: spawn a worker, returning
           [(pid, to_worker_fd, from_worker_fd)]; default re-execs this
-          binary as [dejavuzz worker --slot K] *)
+          binary as [dejavuzz worker --slot K --incarnation G].
+          [incarnation] is the slot's spawn generation (its death count)
+          and must be echoed in the worker's [Telemetry] frames *)
 }
 
 val default_opts : opts
@@ -84,12 +91,19 @@ val run :
   ?telemetry:Dejavuzz.Campaign.telemetry ->
   ?resilience:Dejavuzz.Campaign.resilience ->
   ?board:board ->
+  ?plane:Telemetry.t ->
   ?budget_limits:int option * float option ->
   opts ->
   Dvz_uarch.Config.t ->
   Dejavuzz.Campaign.options ->
   Dejavuzz.Campaign.stats * fleet_stats
-(** Runs the campaign on a supervised fleet.  [budget_limits] is the
+(** Runs the campaign on a supervised fleet.  [plane], when given,
+    receives every worker's telemetry: Hello handshakes (clock
+    alignment), heartbeats, and [Telemetry] frame ingestion, including
+    a final drain of each pipe after Shutdown so the workers' last
+    flushes land before the fds close.  Telemetry is observation-only
+    and never feeds the campaign fold, so output stays byte-identical
+    to [--jobs 1] with or without it.  [budget_limits] is the
     raw [(max_slots, max_wall_s)] pair behind [resilience.rz_budget]
     (the opaque budget cannot be serialized, so workers rebuild it from
     these).  Forces [rz_checkpoint_keep] on, and when [rz_resume] names

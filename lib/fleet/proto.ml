@@ -32,7 +32,7 @@ let m_frames =
     "dvz_fleet_frames_total"
 
 type msg =
-  | Hello of { h_worker : int; h_pid : int }
+  | Hello of { h_worker : int; h_pid : int; h_clock_us : int }
   | Config of { c_payload : string }
   | Assign of { a_epoch : int; a_payload : string }
   | Heartbeat of { b_worker : int; b_done : int }
@@ -42,6 +42,7 @@ type msg =
   | Checkpoint of { k_iteration : int }
   | Checkpoint_ack of { k_worker : int; k_iteration : int }
   | Shutdown
+  | Telemetry of { t_worker : int; t_incarnation : int; t_payload : string }
 
 let kind_tag = function
   | Hello _ -> 1
@@ -53,6 +54,9 @@ let kind_tag = function
   | Checkpoint _ -> 7
   | Checkpoint_ack _ -> 8
   | Shutdown -> 9
+  | Telemetry _ -> 10
+
+let max_tag = 10
 
 let kind_name = function
   | Hello _ -> "hello"
@@ -64,6 +68,7 @@ let kind_name = function
   | Checkpoint _ -> "checkpoint"
   | Checkpoint_ack _ -> "checkpoint_ack"
   | Shutdown -> "shutdown"
+  | Telemetry _ -> "telemetry"
 
 type error =
   | Bad_magic
@@ -118,9 +123,10 @@ let take_str c =
 let payload_of_msg msg =
   let buf = Buffer.create 64 in
   (match msg with
-  | Hello { h_worker; h_pid } ->
+  | Hello { h_worker; h_pid; h_clock_us } ->
       put_int buf h_worker;
-      put_int buf h_pid
+      put_int buf h_pid;
+      put_int buf h_clock_us
   | Config { c_payload } -> put_str buf c_payload
   | Assign { a_epoch; a_payload } ->
       put_int buf a_epoch;
@@ -141,7 +147,11 @@ let payload_of_msg msg =
   | Checkpoint_ack { k_worker; k_iteration } ->
       put_int buf k_worker;
       put_int buf k_iteration
-  | Shutdown -> ());
+  | Shutdown -> ()
+  | Telemetry { t_worker; t_incarnation; t_payload } ->
+      put_int buf t_worker;
+      put_int buf t_incarnation;
+      put_str buf t_payload);
   Buffer.contents buf
 
 let crc32 = Dvz_resilience.Snapshot.crc32
@@ -169,14 +179,16 @@ let msg_of_payload tag payload =
     match tag with
     | 1 -> "hello" | 2 -> "config" | 3 -> "assign" | 4 -> "heartbeat"
     | 5 -> "outcome" | 6 -> "finding" | 7 -> "checkpoint"
-    | 8 -> "checkpoint_ack" | 9 -> "shutdown" | _ -> "?"
+    | 8 -> "checkpoint_ack" | 9 -> "shutdown" | 10 -> "telemetry"
+    | _ -> "?"
   in
   match
     (match tag with
     | 1 ->
         let h_worker = take_int c in
         let h_pid = take_int c in
-        Hello { h_worker; h_pid }
+        let h_clock_us = take_int c in
+        Hello { h_worker; h_pid; h_clock_us }
     | 2 -> Config { c_payload = take_str c }
     | 3 ->
         let a_epoch = take_int c in
@@ -203,6 +215,11 @@ let msg_of_payload tag payload =
         let k_iteration = take_int c in
         Checkpoint_ack { k_worker; k_iteration }
     | 9 -> Shutdown
+    | 10 ->
+        let t_worker = take_int c in
+        let t_incarnation = take_int c in
+        let t_payload = take_str c in
+        Telemetry { t_worker; t_incarnation; t_payload }
     | _ -> assert false)
   with
   | msg ->
@@ -250,7 +267,7 @@ let next r =
         if v <> version then fail r (Bad_version v)
         else
           let tag = Char.code s.[5] in
-          if tag < 1 || tag > 9 then fail r (Bad_kind tag)
+          if tag < 1 || tag > max_tag then fail r (Bad_kind tag)
           else
             let len = Int32.to_int (String.get_int32_be s 6) in
             if len < 0 || len > max_payload then fail r (Oversized len)

@@ -26,8 +26,11 @@ val header_len : int
 val max_payload : int
 
 type msg =
-  | Hello of { h_worker : int; h_pid : int }
-      (** first frame a worker sends: its slot and OS pid *)
+  | Hello of { h_worker : int; h_pid : int; h_clock_us : int }
+      (** first frame a worker sends: its slot, OS pid and its wall
+          clock in microseconds at send time — the coordinator aligns
+          the worker's trace timestamps onto its own axis from the
+          offset observed here *)
   | Config of { c_payload : string }
       (** coordinator → worker: {!Wire.spec_to_string} of the campaign
           spec; sent once per worker lifetime, before any assignment *)
@@ -49,6 +52,14 @@ type msg =
   | Checkpoint_ack of { k_worker : int; k_iteration : int }
       (** worker → coordinator: acknowledges the checkpoint cursor *)
   | Shutdown  (** coordinator → worker: drain and exit cleanly *)
+  | Telemetry of { t_worker : int; t_incarnation : int; t_payload : string }
+      (** worker → coordinator, on the heartbeat cadence and at
+          shutdown: {!Wire.telemetry_to_string} of the worker's
+          cumulative metrics snapshot, profiler aggregates, trace-event
+          delta and buffered event lines.  [t_incarnation] is the spawn
+          generation the coordinator launched this worker under; frames
+          from a stale incarnation (a respawned slot's predecessor) are
+          ignored at ingest. *)
 
 val kind_name : msg -> string
 

@@ -23,6 +23,9 @@ type spec = {
   w_max_wall_s : float option;
   w_jobs : int;  (** domains each worker uses for its shard *)
   w_heartbeat_s : float;  (** heartbeat send interval *)
+  w_profile : bool;  (** arm the worker's self-profiler *)
+  w_trace : bool;  (** additionally record trace events for the merged
+                       Chrome trace *)
 }
 
 val spec_to_string : spec -> string
@@ -36,3 +39,23 @@ val outcome_to_string : Dejavuzz.Executor.outcome -> string
     detail the fold never reads — so outcomes stay small on the wire. *)
 
 val outcome_of_string : string -> (Dejavuzz.Executor.outcome, string) result
+
+(** One telemetry flush, shipped inside a {!Proto.msg.Telemetry} frame.
+    [tb_metrics] and [tb_profile] are cumulative since process start
+    (ingest keeps the latest batch per incarnation — last-wins, so a
+    lost flush never double counts); [tb_trace] and [tb_events] are
+    deltas since the previous flush (ingest appends).  [tb_seq] counts
+    flushes; the [_dropped] fields report worker-side overflow of the
+    bounded trace buffer / event queue. *)
+type telemetry_batch = {
+  tb_seq : int;
+  tb_metrics : Dvz_obs.Metrics.snapshot;
+  tb_profile : Dvz_obs.Profile.entry list;
+  tb_trace : Dvz_obs.Profile.event list;
+  tb_trace_dropped : int;
+  tb_events : string list;
+  tb_events_dropped : int;
+}
+
+val telemetry_to_string : telemetry_batch -> string
+val telemetry_of_string : string -> (telemetry_batch, string) result

@@ -8,23 +8,38 @@
    ends the loop.  The worker holds no campaign state whatsoever: every
    plan carries its own pre-split RNG and all corpus/coverage/finding
    folding happens in the coordinator, which is why killing a worker at
-   any instant loses nothing but wall-clock time. *)
+   any instant loses nothing but wall-clock time.
+
+   Telemetry rides the same pipe: on each heartbeat tick, and once more
+   at shutdown, the worker flushes a [Telemetry] frame — its cumulative
+   metrics snapshot and profiler aggregates, plus the trace-event and
+   event-line deltas since the last flush.  Telemetry is observation
+   only; nothing the coordinator folds into campaign results ever comes
+   from it. *)
 
 module Executor = Dejavuzz.Executor
 module Oracle = Dejavuzz.Oracle
 module Metrics = Dvz_obs.Metrics
+module Profile = Dvz_obs.Profile
+module Events = Dvz_obs.Events
+module Json = Dvz_obs.Json
 
 exception Hangup
 (** The coordinator went away (EOF or EPIPE) — exit quietly. *)
 
 type t = {
   k_slot : int;
+  k_incarnation : int;
   k_in : Unix.file_descr;
   k_out : Unix.file_descr;
   k_log : string -> unit;
   k_reader : Proto.reader;
   k_write_mutex : Mutex.t;  (* heartbeat thread vs main loop *)
+  k_flush_mutex : Mutex.t;  (* telemetry flush: heartbeat vs shutdown *)
   k_done : int Atomic.t;
+  k_events : Events.sink;  (* bounded queue drained into each flush *)
+  mutable k_seq : int;          (* flushes sent; under k_flush_mutex *)
+  mutable k_trace_cursor : int; (* trace delta cursor; under k_flush_mutex *)
   mutable k_ctx : (Wire.spec * Executor.ctx) option;
   mutable k_heartbeat : Thread.t option;
 }
@@ -51,6 +66,40 @@ let send t msg =
     ~finally:(fun () -> Mutex.unlock t.k_write_mutex)
     (fun () -> write_all t.k_out frame)
 
+(* Same ["type"] kind key campaign events use, so /events?kind= filters
+   both uniformly once these lines replay into the coordinator's ring. *)
+let emit_event t name fields =
+  Events.emit t.k_events (("type", Json.Str name) :: fields)
+
+(* Everything observers see from this process, in one frame.  Metrics
+   and profile aggregates are cumulative (the coordinator keeps the
+   latest batch), trace events and event lines are deltas read under
+   the flush mutex so concurrent heartbeat/shutdown flushes never ship
+   the same window twice. *)
+let flush_telemetry t =
+  Mutex.lock t.k_flush_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.k_flush_mutex)
+    (fun () ->
+      let trace, cursor = Profile.events_from t.k_trace_cursor in
+      let lines, dropped = Events.drain t.k_events in
+      let batch =
+        { Wire.tb_seq = t.k_seq;
+          tb_metrics = Metrics.snapshot Metrics.default;
+          tb_profile = Profile.snapshot ();
+          tb_trace = trace;
+          tb_trace_dropped = Profile.events_dropped ();
+          tb_events = lines;
+          tb_events_dropped = dropped }
+      in
+      t.k_seq <- t.k_seq + 1;
+      t.k_trace_cursor <- cursor;
+      send t
+        (Proto.Telemetry
+           { t_worker = t.k_slot;
+             t_incarnation = t.k_incarnation;
+             t_payload = Wire.telemetry_to_string batch }))
+
 let start_heartbeat t (spec : Wire.spec) =
   if t.k_heartbeat = None && spec.Wire.w_heartbeat_s > 0.0 then
     t.k_heartbeat <-
@@ -65,7 +114,8 @@ let start_heartbeat t (spec : Wire.spec) =
                  Unix.sleepf spec.Wire.w_heartbeat_s;
                  send t
                    (Proto.Heartbeat
-                      { b_worker = t.k_slot; b_done = Atomic.get t.k_done })
+                      { b_worker = t.k_slot; b_done = Atomic.get t.k_done });
+                 flush_telemetry t
                done
              with _ -> ())
            ())
@@ -115,6 +165,9 @@ let handle_assign t ~epoch payload =
       match Wire.plans_of_string payload with
       | Error e -> failwith ("fleet worker: " ^ e)
       | Ok plans ->
+          emit_event t "assign"
+            [ ("epoch", Json.Int epoch);
+              ("plans", Json.Int (List.length plans)) ];
           let jobs =
             Dvz_util.Parallel.effective_lanes (max 1 spec.Wire.w_jobs)
           in
@@ -141,33 +194,57 @@ let handle t msg =
       | Error e -> failwith ("fleet worker: " ^ e)
       | Ok spec ->
           t.k_ctx <- Some (spec, build_ctx spec);
+          if spec.Wire.w_profile || spec.Wire.w_trace then
+            Profile.arm ~trace:spec.Wire.w_trace ();
+          emit_event t "config"
+            [ ("jobs", Json.Int spec.Wire.w_jobs);
+              ("profile", Json.Bool spec.Wire.w_profile);
+              ("trace", Json.Bool spec.Wire.w_trace) ];
           start_heartbeat t spec)
   | Proto.Assign { a_epoch; a_payload } ->
       handle_assign t ~epoch:a_epoch a_payload
   | Proto.Checkpoint { k_iteration } ->
       send t
         (Proto.Checkpoint_ack { k_worker = t.k_slot; k_iteration })
-  | Proto.Shutdown -> raise Hangup
+  | Proto.Shutdown ->
+      (* The final flush: whatever accumulated since the last heartbeat
+         still reaches the coordinator before the pipe closes. *)
+      emit_event t "shutdown" [ ("done", Json.Int (Atomic.get t.k_done)) ];
+      (try flush_telemetry t with Hangup -> ());
+      raise Hangup
   | Proto.Hello _ | Proto.Heartbeat _ | Proto.Outcome _ | Proto.Finding _
-  | Proto.Checkpoint_ack _ ->
+  | Proto.Checkpoint_ack _ | Proto.Telemetry _ ->
       failwith
         (Printf.sprintf "fleet worker: unexpected %s frame from coordinator"
            (Proto.kind_name msg))
 
-let main ?(log = ignore) ~slot ~in_fd ~out_fd () =
+let main ?(log = ignore) ?(incarnation = 0) ~slot ~in_fd ~out_fd () =
   (* A worker whose coordinator died mid-write must exit, not crash. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* This process reports its OWN work: a forked worker (the test seam)
+     inherits the parent's registry and profiler state, so zero both to
+     match the exec path's fresh process. *)
+  Metrics.reset Metrics.default;
+  Profile.disarm ();
+  Profile.reset ();
   let t =
     { k_slot = slot;
+      k_incarnation = incarnation;
       k_in = in_fd;
       k_out = out_fd;
       k_log = log;
       k_reader = Proto.reader ();
       k_write_mutex = Mutex.create ();
+      k_flush_mutex = Mutex.create ();
       k_done = Atomic.make 0;
+      k_events = Events.batch ();
+      k_seq = 0;
+      k_trace_cursor = 0;
       k_ctx = None;
       k_heartbeat = None }
   in
+  emit_event t "worker_start"
+    [ ("pid", Json.Int (Unix.getpid ())) ];
   let buf = Bytes.create 65536 in
   let rec loop () =
     match Proto.next t.k_reader with
@@ -189,7 +266,12 @@ let main ?(log = ignore) ~slot ~in_fd ~out_fd () =
         end
   in
   match
-    send t (Proto.Hello { h_worker = slot; h_pid = Unix.getpid () });
+    send t
+      (Proto.Hello
+         { h_worker = slot;
+           h_pid = Unix.getpid ();
+           h_clock_us =
+             int_of_float (Unix.gettimeofday () *. 1e6) });
     loop ()
   with
   | () -> ()

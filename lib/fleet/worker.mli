@@ -4,21 +4,29 @@
     [Hello], builds its executor context from the one [Config] frame,
     then executes each [Assign]ed shard of plans, streaming one
     [Outcome] frame per plan (in plan order) plus advisory [Finding]
-    frames, while a background thread emits periodic [Heartbeat]s.  All
-    campaign state — corpus, coverage, dedup, checkpoints — lives in the
-    coordinator, so a worker killed at any instant costs only the
+    frames, while a background thread emits periodic [Heartbeat]s — each
+    followed by a [Telemetry] flush (metrics snapshot, profiler
+    aggregates, trace/event deltas), with one final flush on [Shutdown].
+    All campaign state — corpus, coverage, dedup, checkpoints — lives in
+    the coordinator, so a worker killed at any instant costs only the
     re-execution of its outstanding plans, never a result. *)
 
 val main :
   ?log:(string -> unit) ->
+  ?incarnation:int ->
   slot:int ->
   in_fd:Unix.file_descr ->
   out_fd:Unix.file_descr ->
   unit ->
   unit
 (** Runs the worker loop until [Shutdown] or EOF/EPIPE from the
-    coordinator (both return normally).  Raises [Failure] on a corrupt
-    or out-of-protocol stream and lets an injected
-    {!Dvz_resilience.Fault.Killed} propagate — the caller (the hidden
-    [dejavuzz worker] subcommand) maps those to exit codes.  Ignores
-    [SIGPIPE]. *)
+    coordinator (both return normally).  [incarnation] (default 0) is
+    the spawn generation the coordinator launched this process under; it
+    is echoed in every [Telemetry] frame so a respawned slot's stale
+    predecessor cannot pollute the aggregates.  Resets the process-wide
+    metrics registry and profiler on entry (a forked worker inherits the
+    parent's), and arms the profiler when the spec asks for it.  Raises
+    [Failure] on a corrupt or out-of-protocol stream and lets an
+    injected {!Dvz_resilience.Fault.Killed} propagate — the caller (the
+    hidden [dejavuzz worker] subcommand) maps those to exit codes.
+    Ignores [SIGPIPE]. *)

@@ -125,48 +125,125 @@ let disambiguate raw_names =
        (Hashtbl.fold (fun s raws acc -> (s, raws) :: acc) groups []));
   fun raw -> try Hashtbl.find resolved raw with Not_found -> sanitize_name raw
 
-let prometheus t =
-  let s = Metrics.snapshot t in
-  let resolve =
-    (* Counters, gauges and histograms share one Prometheus namespace. *)
-    disambiguate
-      (List.map (fun (n, _, _) -> n) s.Metrics.sn_counters
-      @ List.map (fun (n, _, _) -> n) s.Metrics.sn_gauges
-      @ List.map (fun (n, _, _) -> n) s.Metrics.sn_histograms)
+(* Label names have a stricter charset than metric names: no colon. *)
+let sanitize_label_name name =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
   in
-  let buf = Buffer.create 1024 in
+  let s = String.map (fun c -> if ok c then c else '_') name in
+  if s = "" then "_"
+  else if s.[0] >= '0' && s.[0] <= '9' then "_" ^ s
+  else s
+
+let labels_str lbls =
+  match lbls with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_label_name k)
+                 (escape_label v))
+             lbls)
+      ^ "}"
+
+(* Labelled exposition over label groups: one (HELP/TYPE) header per
+   metric name across all groups, one sample line per group carrying
+   that name, the group's labels rendered on every line.  The fleet
+   /metrics endpoint feeds this the coordinator's snapshot unlabelled
+   plus one [worker="N"] group per slot. *)
+let prometheus_groups groups =
+  let resolve =
+    (* Counters, gauges and histograms — across every group — share one
+       Prometheus namespace. *)
+    disambiguate
+      (List.concat_map
+         (fun (_, s) ->
+           List.map (fun (n, _, _) -> n) s.Metrics.sn_counters
+           @ List.map (fun (n, _, _) -> n) s.Metrics.sn_gauges
+           @ List.map (fun (n, _, _) -> n) s.Metrics.sn_histograms)
+         groups)
+  in
+  (* Per kind: name -> (help, samples in group order), names sorted. *)
+  let collect proj =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun (lbls, s) ->
+        List.iter
+          (fun (n, help, v) ->
+            match Hashtbl.find_opt tbl n with
+            | None -> Hashtbl.replace tbl n (help, [ (lbls, v) ])
+            | Some (help', vs) ->
+                let help = if help' = "" then help else help' in
+                Hashtbl.replace tbl n (help, (lbls, v) :: vs))
+          (proj s))
+      groups;
+    Hashtbl.fold (fun n (help, vs) acc -> (n, help, List.rev vs) :: acc) tbl []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let buf = Buffer.create 4096 in
   List.iter
-    (fun (name, help, v) ->
+    (fun (name, help, samples) ->
       let name = resolve name in
       header buf name help "counter";
-      Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
-    s.Metrics.sn_counters;
+      List.iter
+        (fun (lbls, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" name (labels_str lbls) v))
+        samples)
+    (collect (fun s -> s.Metrics.sn_counters));
   List.iter
-    (fun (name, help, v) ->
+    (fun (name, help, samples) ->
       let name = resolve name in
       header buf name help "gauge";
-      Buffer.add_string buf (Printf.sprintf "%s %s\n" name (float_str v)))
-    s.Metrics.sn_gauges;
+      List.iter
+        (fun (lbls, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" name (labels_str lbls) (float_str v)))
+        samples)
+    (collect (fun s -> s.Metrics.sn_gauges));
   List.iter
-    (fun (name, help, h) ->
+    (fun (name, help, samples) ->
       let name = resolve name in
       header buf name help "histogram";
-      let cum = ref 0 in
       List.iter
-        (fun (bound, count) ->
-          if bound < infinity then begin
-            cum := !cum + count;
-            Buffer.add_string buf
-              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
-                 (escape_label (float_str bound))
-                 !cum)
-          end)
-        h.Metrics.hs_buckets;
-      Buffer.add_string buf
-        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.hs_count);
-      Buffer.add_string buf
-        (Printf.sprintf "%s_sum %s\n" name (float_str h.Metrics.hs_sum));
-      Buffer.add_string buf
-        (Printf.sprintf "%s_count %d\n" name h.Metrics.hs_count))
-    s.Metrics.sn_histograms;
+        (fun (lbls, h) ->
+          let cum = ref 0 in
+          List.iter
+            (fun (bound, count) ->
+              if bound < infinity then begin
+                cum := !cum + count;
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" name
+                     (labels_str (lbls @ [ ("le", float_str bound) ]))
+                     !cum)
+              end)
+            h.Metrics.hs_buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" name
+               (labels_str (lbls @ [ ("le", "+Inf") ]))
+               h.Metrics.hs_count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" name (labels_str lbls)
+               (float_str h.Metrics.hs_sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" name (labels_str lbls)
+               h.Metrics.hs_count))
+        samples)
+    (collect (fun s -> s.Metrics.sn_histograms));
   Buffer.contents buf
+
+let prometheus t = prometheus_groups [ ([], Metrics.snapshot t) ]
+
+let fleet_json ~coordinator ~workers =
+  Json.Obj
+    [ ("coordinator", snapshot_json coordinator);
+      ( "workers",
+        Json.Obj
+          (List.map
+             (fun (slot, s) -> (string_of_int slot, snapshot_json s))
+             (List.sort (fun (a, _) (b, _) -> compare a b) workers)) ) ]

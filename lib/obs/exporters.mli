@@ -30,5 +30,27 @@ val escape_help : string -> string
 val escape_label : string -> string
 (** Label-value escaping: backslash, double quote and newline. *)
 
+val sanitize_label_name : string -> string
+(** Like {!sanitize_name} but for label names, whose charset excludes
+    [':']. *)
+
+val prometheus_groups :
+  ((string * string) list * Metrics.snapshot) list -> string
+(** Labelled exposition over label groups.  Each group is a label set
+    (rendered [{k="v",...}] on every sample line, names sanitized and
+    values escaped) plus a snapshot; metrics sharing a name across
+    groups share one HELP/TYPE header and emit one sample line per
+    group.  Histogram [le] labels are appended after the group's own
+    labels.  [prometheus t] is the single-group unlabelled special
+    case; the fleet [/metrics] endpoint passes the coordinator
+    unlabelled plus one [worker="N"] group per slot. *)
+
 val prometheus : Metrics.t -> string
 (** Full text exposition of the registry's current snapshot. *)
+
+val fleet_json :
+  coordinator:Metrics.snapshot ->
+  workers:(int * Metrics.snapshot) list ->
+  Json.t
+(** [{"coordinator": ..., "workers": {"0": ..., ...}}] — the JSON
+    exporter's fleet shape, workers keyed by slot in ascending order. *)

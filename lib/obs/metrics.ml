@@ -181,6 +181,47 @@ let hist_snapshot h =
       done;
       { hs_buckets = !buckets; hs_count = h.h_count; hs_sum = h.h_sum })
 
+(* Merging favours the interpretation that makes cross-process
+   aggregation meaningful: counters add, gauges keep the high-water
+   mark, histograms add bucket-wise.  Both the bucket union and the
+   help-string choice are symmetric, so [merge] is commutative — the
+   property the fleet tests pin, since telemetry frames arrive in
+   arbitrary worker order. *)
+let merge_help a b = if a = "" then b else if b = "" then a else min a b
+
+let merge_assoc combine xs ys =
+  let tbl = Hashtbl.create 32 in
+  let add (name, help, v) =
+    match Hashtbl.find_opt tbl name with
+    | None -> Hashtbl.replace tbl name (help, v)
+    | Some (help', v') ->
+        Hashtbl.replace tbl name (merge_help help help', combine v v')
+  in
+  List.iter add xs;
+  List.iter add ys;
+  let out = Hashtbl.fold (fun name (help, v) acc -> (name, help, v) :: acc) tbl [] in
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) out
+
+let merge_hist a b =
+  let tbl = Hashtbl.create 16 in
+  let add (bound, count) =
+    let prev = Option.value ~default:0 (Hashtbl.find_opt tbl bound) in
+    Hashtbl.replace tbl bound (prev + count)
+  in
+  List.iter add a.hs_buckets;
+  List.iter add b.hs_buckets;
+  let buckets = Hashtbl.fold (fun bound count acc -> (bound, count) :: acc) tbl [] in
+  { hs_buckets = List.sort (fun (x, _) (y, _) -> compare x y) buckets;
+    hs_count = a.hs_count + b.hs_count;
+    hs_sum = a.hs_sum +. b.hs_sum }
+
+let merge a b =
+  { sn_counters = merge_assoc ( + ) a.sn_counters b.sn_counters;
+    sn_gauges = merge_assoc Float.max a.sn_gauges b.sn_gauges;
+    sn_histograms = merge_assoc merge_hist a.sn_histograms b.sn_histograms }
+
+let empty_snapshot = { sn_counters = []; sn_gauges = []; sn_histograms = [] }
+
 let snapshot t =
   locked t.r_mutex (fun () ->
       let counters = ref [] and gauges = ref [] and hists = ref [] in

@@ -99,3 +99,14 @@ type snapshot = {
 }
 
 val snapshot : t -> snapshot
+
+val empty_snapshot : snapshot
+(** The identity element of {!merge}. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Combines two snapshots name-wise: counters add, gauges keep the
+    maximum, histograms add bucket-wise (counts and sums included).
+    Help strings pick the lexicographically smaller non-empty one, so
+    the operation is commutative — telemetry frames from fleet workers
+    arrive in arbitrary order and the aggregate must not care.  Output
+    lists are name-sorted like {!snapshot}'s. *)

@@ -233,17 +233,72 @@ let events () =
 
 let events_dropped () = Atomic.get trace_dropped
 
+(* Insertion-order suffix read: the slice of recorded events whose slot
+   index is >= [from], plus the cursor to resume from.  This is how a
+   fleet worker ships trace *deltas* on each telemetry flush without
+   re-sending the whole buffer.  Slots a racing domain has claimed but
+   not yet filled read as [None] and are skipped; they will surface in
+   a later delta. *)
+let events_from from =
+  let slots = !trace_slots in
+  let upto = min (Atomic.get trace_next) (Array.length slots) in
+  let from = max 0 (min from upto) in
+  let acc = ref [] in
+  for i = upto - 1 downto from do
+    match slots.(i) with Some ev -> acc := ev :: !acc | None -> ()
+  done;
+  (!acc, upto)
+
+(* Path-keyed combination of two aggregate lists.  Counts and times
+   add, maxima take the max; same-path entries agree on name/depth by
+   construction, so the operation is commutative (pinned by QCheck in
+   the fleet tests) — worker profiles can be folded in any order. *)
+let merge a b =
+  let tbl = Hashtbl.create 64 in
+  let add e =
+    match Hashtbl.find_opt tbl e.pf_path with
+    | None -> Hashtbl.replace tbl e.pf_path e
+    | Some e' ->
+        Hashtbl.replace tbl e.pf_path
+          { e' with
+            pf_count = e'.pf_count + e.pf_count;
+            pf_total_s = e'.pf_total_s +. e.pf_total_s;
+            pf_self_s = e'.pf_self_s +. e.pf_self_s;
+            pf_max_s = Float.max e'.pf_max_s e.pf_max_s }
+  in
+  List.iter add a;
+  List.iter add b;
+  Hashtbl.fold (fun _ e acc -> e :: acc) tbl []
+  |> List.sort (fun x y -> compare x.pf_path y.pf_path)
+
+(* The table is a flat hot-spot profile: one row per path, hottest
+   self-time first with the path as tiebreak, so two runs over the same
+   workload render byte-comparable tables. *)
 let render_table entries =
+  let entries =
+    List.sort
+      (fun a b ->
+        match compare b.pf_self_s a.pf_self_s with
+        | 0 -> compare a.pf_path b.pf_path
+        | c -> c)
+      entries
+  in
+  let total_self =
+    List.fold_left (fun acc e -> acc +. e.pf_self_s) 0.0 entries
+  in
+  let pct self =
+    if total_self <= 0.0 then 0.0 else 100.0 *. self /. total_self
+  in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "%-44s %10s %12s %12s %12s\n" "region" "count" "total ms"
-       "self ms" "max ms");
+    (Printf.sprintf "%-44s %10s %12s %12s %12s %7s\n" "region" "count"
+       "total ms" "self ms" "max ms" "self %");
   List.iter
     (fun e ->
-      let label = String.make (2 * e.pf_depth) ' ' ^ e.pf_name in
       Buffer.add_string buf
-        (Printf.sprintf "%-44s %10d %12.3f %12.3f %12.3f\n" label e.pf_count
-           (e.pf_total_s *. 1e3) (e.pf_self_s *. 1e3) (e.pf_max_s *. 1e3)))
+        (Printf.sprintf "%-44s %10d %12.3f %12.3f %12.3f %7.1f\n" e.pf_path
+           e.pf_count (e.pf_total_s *. 1e3) (e.pf_self_s *. 1e3)
+           (e.pf_max_s *. 1e3) (pct e.pf_self_s)))
     entries;
   Buffer.contents buf
 

@@ -65,8 +65,22 @@ val events : unit -> event list
 
 val events_dropped : unit -> int
 
+val events_from : int -> event list * int
+(** [events_from cursor] returns the recorded events at slot indices
+    [>= cursor] in insertion order, plus the cursor to pass next time —
+    the delta read a fleet worker uses to ship each telemetry flush
+    without re-sending its whole trace buffer. *)
+
+val merge : entry list -> entry list -> entry list
+(** Path-keyed combination: counts and times add, maxima take the max.
+    Commutative (same-path entries agree on name and depth), output
+    path-sorted like {!snapshot} — how the coordinator folds worker
+    profiles into the merged [--profile] view. *)
+
 val render_table : entry list -> string
-(** Fixed-width table, regions indented by depth. *)
+(** Fixed-width flat profile: one row per path with a %-of-total-self
+    column, sorted by self time descending (path ascending as tiebreak)
+    so repeated runs diff cleanly. *)
 
 val to_json : entry list -> Json.t
 (** [dvz-profile/1] artifact. *)

@@ -86,19 +86,34 @@ let read_request_line ~deadline fd =
       | Some i -> Some (String.trim (String.sub s 0 i))
       | None -> Some (String.trim s))
 
-let parse_query q =
-  String.split_on_char '&' q
-  |> List.filter_map (fun kv ->
-         if kv = "" then None
-         else
-           match String.index_opt kv '=' with
-           | Some i ->
-               Some
-                 ( String.sub kv 0 i,
-                   String.sub kv (i + 1) (String.length kv - i - 1) )
-           | None -> Some (kv, ""))
+(* Query strings come from arbitrary clients; reject rather than guess.
+   Overlong queries and duplicate keys are both answered 400 — a
+   duplicate key would otherwise pick whichever value [List.assoc]
+   happens to see first, which is how scrapers get silently wrong
+   answers. *)
+let max_query_len = 1024
 
-(* "GET /path?k=v HTTP/1.1" -> (meth, path, query assoc) *)
+let parse_query q =
+  if String.length q > max_query_len then None
+  else
+    let kvs =
+      String.split_on_char '&' q
+      |> List.filter_map (fun kv ->
+             if kv = "" then None
+             else
+               match String.index_opt kv '=' with
+               | Some i ->
+                   Some
+                     ( String.sub kv 0 i,
+                       String.sub kv (i + 1) (String.length kv - i - 1) )
+               | None -> Some (kv, ""))
+    in
+    let keys = List.map fst kvs in
+    if List.length (List.sort_uniq compare keys) <> List.length keys then None
+    else Some kvs
+
+(* "GET /path?k=v HTTP/1.1" -> (meth, path, query assoc option);
+   [None] as the query means it was present but malformed. *)
 let parse_request_line line =
   match String.split_on_char ' ' line with
   | meth :: target :: _ ->
@@ -108,10 +123,23 @@ let parse_request_line line =
             ( String.sub target 0 i,
               parse_query
                 (String.sub target (i + 1) (String.length target - i - 1)) )
-        | None -> (target, [])
+        | None -> (target, Some [])
       in
       Some (meth, path, query)
   | _ -> None
+
+let int_param ?default name query =
+  match List.assoc_opt name query with
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None ->
+          Error (text ~status:400 (Printf.sprintf "missing %s\n" name)))
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None ->
+          Error (text ~status:400 (Printf.sprintf "bad %s: %S\n" name v)))
 
 let handle ~client_timeout_s routes fd =
   let deadline = Unix.gettimeofday () +. client_timeout_s in
@@ -124,12 +152,15 @@ let handle ~client_timeout_s routes fd =
         | Some (meth, path, query) ->
             if meth <> "GET" then text ~status:405 "GET only\n"
             else (
-              match List.assoc_opt path routes with
-              | None -> text ~status:404 "not found\n"
-              | Some handler -> (
-                  try handler query
-                  with e ->
-                    text ~status:500 (Printexc.to_string e ^ "\n"))))
+              match query with
+              | None -> text ~status:400 "bad query\n"
+              | Some query -> (
+                  match List.assoc_opt path routes with
+                  | None -> text ~status:404 "not found\n"
+                  | Some handler -> (
+                      try handler query
+                      with e ->
+                        text ~status:500 (Printexc.to_string e ^ "\n")))))
   in
   (try write_response fd resp with _ -> ());
   (try Unix.close fd with _ -> ())

@@ -13,10 +13,18 @@ type response = { status : int; content_type : string; body : string }
 
 type handler = (string * string) list -> response
 (** Receives the decoded query parameters (e.g. [("n", "50")]).
-    Exceptions become a 500 response. *)
+    Exceptions become a 500 response.  Malformed query strings —
+    longer than 1024 bytes or with a duplicated key — never reach a
+    handler; the server answers 400 itself. *)
 
 val text : ?status:int -> string -> response
 val json : ?status:int -> Json.t -> response
+
+val int_param :
+  ?default:int -> string -> (string * string) list -> (int, response) result
+(** Validated integer query parameter: [Error] carries a ready 400
+    response for junk values ([?n=abc]); a missing parameter yields
+    [default] when given, otherwise the 400. *)
 
 val start :
   ?host:string ->

@@ -3,12 +3,26 @@
     Renders the profiler's recorded regions ({!Profile.events}) as a
     Perfetto/chrome://tracing-loadable JSON object: complete ["X"]
     events on one track per worker domain (tid = the worker index set
-    via {!Profile.set_tid}), plus ["M"] thread-name metadata.
-    Timestamps are microseconds relative to the earliest recorded
-    region. *)
+    via {!Profile.set_tid}), plus ["M"] thread-name and process-name
+    metadata.  Timestamps are microseconds relative to the earliest
+    recorded region.
+
+    The [_multi] forms take [(pid, process_name, events)] groups — one
+    per fleet process, events already shifted onto the coordinator's
+    clock — and share a single time base across groups, so a merged
+    fleet trace renders as one named row group per worker process. *)
 
 val to_json : Profile.event list -> Json.t
+(** Single-process export: [to_json_multi] with one pid-1 group named
+    ["dejavuzz"]. *)
+
+val to_json_multi : (int * string * Profile.event list) list -> Json.t
+
 val render : Profile.event list -> string
+val render_multi : (int * string * Profile.event list) list -> string
 
 val write_file : string -> Profile.event list -> unit
 (** Writes {!render} (plus a trailing newline) to [path]. *)
+
+val write_file_multi :
+  string -> (int * string * Profile.event list) list -> unit

@@ -12,6 +12,10 @@ module Cfg = Dvz_uarch.Config
 module Proto = Dvz_fleet.Proto
 module Coordinator = Dvz_fleet.Coordinator
 module Worker = Dvz_fleet.Worker
+module Wire = Dvz_fleet.Wire
+module Telemetry = Dvz_fleet.Telemetry
+module Metrics = Dvz_obs.Metrics
+module Profile = Dvz_obs.Profile
 
 let boom = Cfg.boom_small
 
@@ -33,8 +37,10 @@ let arb_msg =
   let blob = string_of_size (Gen.int_bound 512) in
   let g =
     Gen.oneof
-      [ Gen.map2 (fun w p -> Proto.Hello { h_worker = w; h_pid = p })
-          (gen nat) (gen nat);
+      [ Gen.map3
+          (fun w p c ->
+            Proto.Hello { h_worker = w; h_pid = p; h_clock_us = c })
+          (gen nat) (gen nat) (gen nat);
         Gen.map (fun s -> Proto.Config { c_payload = s }) (gen blob);
         Gen.map2 (fun e s -> Proto.Assign { a_epoch = e; a_payload = s })
           (gen nat) (gen blob);
@@ -55,6 +61,10 @@ let arb_msg =
         Gen.map2
           (fun w i -> Proto.Checkpoint_ack { k_worker = w; k_iteration = i })
           (gen nat) (gen nat);
+        Gen.map3
+          (fun w i s ->
+            Proto.Telemetry { t_worker = w; t_incarnation = i; t_payload = s })
+          (gen nat) (gen nat) (gen blob);
         Gen.return Proto.Shutdown ]
   in
   QCheck.make ~print:Proto.kind_name g
@@ -64,7 +74,7 @@ let prop_roundtrip =
     (fun msg -> roundtrip msg = msg)
 
 let sample_msgs =
-  [ Proto.Hello { h_worker = 3; h_pid = 4242 };
+  [ Proto.Hello { h_worker = 3; h_pid = 4242; h_clock_us = 1_700_000_000 };
     Proto.Config { c_payload = "spec-bytes \x00\xff" };
     Proto.Assign { a_epoch = 7; a_payload = String.make 100 'p' };
     Proto.Heartbeat { b_worker = 1; b_done = 99 };
@@ -73,6 +83,7 @@ let sample_msgs =
     Proto.Finding { f_worker = 1; f_iteration = 30; f_classes = 2 };
     Proto.Checkpoint { k_iteration = 16 };
     Proto.Checkpoint_ack { k_worker = 0; k_iteration = 16 };
+    Proto.Telemetry { t_worker = 1; t_incarnation = 2; t_payload = "batch" };
     Proto.Shutdown ]
 
 let drain r =
@@ -182,7 +193,7 @@ let test_trailing_payload_bytes_rejected () =
 
 (* Launch a worker by forking: the child serves [Worker.main] over fresh
    pipes and exits without ever returning to the test harness. *)
-let fork_launch ~slot =
+let fork_launch ~slot ~incarnation =
   let to_w_read, to_w_write = Unix.pipe ~cloexec:false () in
   let from_w_read, from_w_write = Unix.pipe ~cloexec:false () in
   match Unix.fork () with
@@ -190,7 +201,8 @@ let fork_launch ~slot =
       Unix.close to_w_write;
       Unix.close from_w_read;
       (match
-         Worker.main ~slot ~in_fd:to_w_read ~out_fd:from_w_write ()
+         Worker.main ~incarnation ~slot ~in_fd:to_w_read ~out_fd:from_w_write
+           ()
        with
       | () -> Unix._exit 0
       | exception _ -> Unix._exit 2)
@@ -340,6 +352,140 @@ let test_fleet_checkpoint_bytes_match () =
       Alcotest.(check bool) "fleet rotated a .prev checkpoint" true
         (Sys.file_exists (Dvz_resilience.Snapshot.previous_path ck_b)))
 
+(* --- telemetry plane ----------------------------------------------------- *)
+
+let sample_batch ?(seq = 1) ?(counter = ("dvz_test_iters_total", "", 7)) () =
+  { Wire.tb_seq = seq;
+    tb_metrics =
+      { Metrics.empty_snapshot with Metrics.sn_counters = [ counter ] };
+    tb_profile =
+      [ { Profile.pf_path = "campaign/iteration";
+          pf_name = "iteration";
+          pf_depth = 1;
+          pf_count = 3;
+          pf_total_s = 0.9;
+          pf_self_s = 0.6;
+          pf_max_s = 0.5 } ];
+    tb_trace = [];
+    tb_trace_dropped = 0;
+    tb_events = [ {|{"event":"assign","epoch":1}|} ];
+    tb_events_dropped = 0 }
+
+let counter_value snap name =
+  match
+    List.find_opt (fun (n, _, _) -> n = name) snap.Metrics.sn_counters
+  with
+  | Some (_, _, v) -> v
+  | None -> 0
+
+let test_telemetry_batch_roundtrip () =
+  let b = sample_batch () in
+  match Wire.telemetry_of_string (Wire.telemetry_to_string b) with
+  | Error e -> Alcotest.failf "telemetry codec: %s" e
+  | Ok b' -> Alcotest.(check bool) "batch roundtrips" true (b = b')
+
+(* A worker SIGKILLed mid-flush leaves a prefix of a Telemetry frame in
+   the pipe.  The truncated frame must never decode (so nothing partial
+   reaches the plane), and a bit-flipped one must fail the CRC. *)
+let test_partial_flush_rejected () =
+  let frame =
+    Proto.encode
+      (Proto.Telemetry
+         { t_worker = 0;
+           t_incarnation = 0;
+           t_payload = Wire.telemetry_to_string (sample_batch ()) })
+  in
+  (* Every strict prefix is silently incomplete, not a partial decode. *)
+  List.iter
+    (fun n ->
+      let r = Proto.reader () in
+      Proto.feed_string r (String.sub frame 0 n);
+      match Proto.next r with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.failf "%d-byte prefix decoded a frame" n
+      | Error e ->
+          Alcotest.failf "%d-byte prefix errored: %s" n
+            (Proto.error_message e))
+    [ 1; Proto.header_len - 1; Proto.header_len; String.length frame - 1 ];
+  let corrupt =
+    patch_byte frame (Proto.header_len + 4) (fun c -> c lxor 0x10)
+  in
+  let r = Proto.reader () in
+  Proto.feed_string r corrupt;
+  expect_error "mid-flush corruption" Proto.Crc_mismatch r
+
+(* The plane's aggregates survive a mid-flush death consistent: the lost
+   flush was cumulative, so the previous batch plus the retirement fold
+   still accounts for everything acked. *)
+let test_lost_flush_keeps_aggregates_consistent () =
+  let clock = Dvz_obs.Clock.fake () in
+  let plane = Telemetry.create ~clock () in
+  Telemetry.hello plane ~slot:0 ~incarnation:0 ~pid:100 ~clock_us:0;
+  let b1 = sample_batch ~seq:1 ~counter:("dvz_test_iters_total", "", 7) () in
+  Alcotest.(check bool) "first flush ingested" true
+    (Telemetry.ingest plane ~slot:0 ~incarnation:0 b1);
+  (* The second (cumulative) flush dies mid-write: the coordinator only
+     ever sees the CRC-rejected prefix, then declares the worker dead. *)
+  Telemetry.record_restart plane ~slot:0 ~reason:"sigkill mid-flush";
+  let snap_after_death = List.assoc 0 (Telemetry.worker_metrics plane) in
+  Alcotest.(check int) "retired aggregate keeps the last acked flush" 7
+    (counter_value snap_after_death "dvz_test_iters_total");
+  (* The respawned incarnation reports afresh; sums, no double count. *)
+  Telemetry.hello plane ~slot:0 ~incarnation:1 ~pid:101 ~clock_us:0;
+  let b2 = sample_batch ~seq:1 ~counter:("dvz_test_iters_total", "", 5) () in
+  Alcotest.(check bool) "successor flush ingested" true
+    (Telemetry.ingest plane ~slot:0 ~incarnation:1 b2);
+  let snap = List.assoc 0 (Telemetry.worker_metrics plane) in
+  Alcotest.(check int) "retired + live incarnations sum" 12
+    (counter_value snap "dvz_test_iters_total")
+
+let test_stale_incarnation_ignored () =
+  let clock = Dvz_obs.Clock.fake () in
+  let plane = Telemetry.create ~clock () in
+  Telemetry.hello plane ~slot:1 ~incarnation:0 ~pid:100 ~clock_us:0;
+  Alcotest.(check bool) "current incarnation accepted" true
+    (Telemetry.ingest plane ~slot:1 ~incarnation:0 (sample_batch ()));
+  Telemetry.record_restart plane ~slot:1 ~reason:"chaos";
+  (* The dead generation's last flush was still in the pipe. *)
+  Alcotest.(check bool) "stale incarnation dropped" false
+    (Telemetry.ingest plane ~slot:1 ~incarnation:0 (sample_batch ~seq:2 ()));
+  Alcotest.(check int) "stale frame counted" 1 (Telemetry.stale_frames plane);
+  Telemetry.hello plane ~slot:1 ~incarnation:1 ~pid:101 ~clock_us:0;
+  Alcotest.(check bool) "successor accepted" true
+    (Telemetry.ingest plane ~slot:1 ~incarnation:1 (sample_batch ()));
+  Alcotest.(check int) "no further stale frames" 1
+    (Telemetry.stale_frames plane)
+
+(* End-to-end: a real 2-worker fleet run with the plane attached yields
+   ingested batches and merged worker profiles, and (the determinism
+   contract) telemetry changes nothing about the campaign's output. *)
+let test_fleet_telemetry_end_to_end () =
+  let base = baseline_events options in
+  let plane = Telemetry.create () in
+  let opts =
+    { (quiet_opts ~workers:2) with
+      Coordinator.fl_profile = true;
+      fl_trace = true }
+  in
+  let buf = Buffer.create 4096 in
+  let telemetry =
+    { Campaign.quiet with Campaign.t_events = Dvz_obs.Events.to_buffer buf }
+  in
+  let stats, _fstats = Coordinator.run ~telemetry ~plane opts boom options in
+  check_matches_baseline "telemetry plane" base (stats, Buffer.contents buf);
+  Alcotest.(check int) "no stale frames" 0 (Telemetry.stale_frames plane);
+  let wm = Telemetry.worker_metrics plane in
+  Alcotest.(check int) "both slots reported" 2 (List.length wm);
+  List.iter
+    (fun (slot, snap) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d shipped at least one batch" slot)
+        true
+        (counter_value snap "dvz_fleet_telemetry_batches_total" >= 1))
+    wm;
+  Alcotest.(check bool) "worker profiles merged" true
+    (Telemetry.merged_profile plane <> [])
+
 let () =
   let qcheck = QCheck_alcotest.to_alcotest in
   Alcotest.run "dvz_fleet"
@@ -369,4 +515,15 @@ let () =
           Alcotest.test_case "zero workers runs inline" `Quick
             test_fleet_zero_workers_runs_inline;
           Alcotest.test_case "checkpoint bytes identical" `Quick
-            test_fleet_checkpoint_bytes_match ] ) ]
+            test_fleet_checkpoint_bytes_match ] );
+      ( "telemetry",
+        [ Alcotest.test_case "batch codec roundtrips" `Quick
+            test_telemetry_batch_roundtrip;
+          Alcotest.test_case "partial flush rejected by framing/CRC" `Quick
+            test_partial_flush_rejected;
+          Alcotest.test_case "lost flush keeps aggregates consistent" `Quick
+            test_lost_flush_keeps_aggregates_consistent;
+          Alcotest.test_case "stale incarnation ignored" `Quick
+            test_stale_incarnation_ignored;
+          Alcotest.test_case "fleet run aggregates worker telemetry" `Quick
+            test_fleet_telemetry_end_to_end ] ) ]

@@ -369,6 +369,225 @@ let prop_json_exporter_roundtrip =
           in
           List.for_all counter_ok counters && count_ok)
 
+(* Labelled exposition (the fleet /metrics shape): adversarial label
+   values must always escape into well-formed [name{k="v",...} value]
+   lines, and a metric shared across groups gets one header and one
+   sample line per group. *)
+let prop_prometheus_labelled_well_formed =
+  let label_pool =
+    [| "w"; "sp ace"; "q\"uote"; "back\\slash"; "new\nline"; "läks"; "" |]
+  in
+  QCheck.Test.make ~name:"labelled exposition is well-formed" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Dvz_util.Rng.create (seed + 31) in
+      let group i =
+        let r = Metrics.create () in
+        Metrics.incr
+          ~by:(1 + Dvz_util.Rng.int rng 9)
+          (Metrics.counter r "shared_total");
+        Metrics.incr (Metrics.counter r (Printf.sprintf "only_%d" i));
+        let h = Metrics.histogram r "lat_h" in
+        for _ = 1 to 1 + Dvz_util.Rng.int rng 5 do
+          Metrics.observe h (float_of_int (1 + Dvz_util.Rng.int rng 16))
+        done;
+        let lbls =
+          if i = 0 then []
+          else
+            [ ("worker", string_of_int (i - 1));
+              ( "host name",
+                label_pool.(Dvz_util.Rng.int rng (Array.length label_pool))
+              ) ]
+        in
+        (lbls, Metrics.snapshot r)
+      in
+      let n_groups = 1 + Dvz_util.Rng.int rng 3 in
+      let groups = List.init n_groups group in
+      let text = Exporters.prometheus_groups groups in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+      in
+      let name_ok n =
+        n <> ""
+        && (not ('0' <= n.[0] && n.[0] <= '9'))
+        && String.for_all
+             (fun c ->
+               ('a' <= c && c <= 'z')
+               || ('A' <= c && c <= 'Z')
+               || ('0' <= c && c <= '9')
+               || c = '_' || c = ':')
+             n
+      in
+      (* [k="v",...]: label names charset-clean, values with every
+         backslash/quote escaped; a raw newline would have split the
+         line and failed the scan. *)
+      let label_block_ok s =
+        let len = String.length s in
+        let rec name i =
+          match String.index_from_opt s i '=' with
+          | None -> false
+          | Some eq ->
+              let n = String.sub s i (eq - i) in
+              n <> ""
+              && String.for_all
+                   (fun c ->
+                     ('a' <= c && c <= 'z')
+                     || ('A' <= c && c <= 'Z')
+                     || ('0' <= c && c <= '9')
+                     || c = '_')
+                   n
+              && eq + 1 < len && s.[eq + 1] = '"'
+              && value (eq + 2)
+        and value i =
+          if i >= len then false
+          else
+            match s.[i] with
+            | '\\' ->
+                i + 1 < len
+                && (match s.[i + 1] with
+                   | '\\' | '"' | 'n' -> true
+                   | _ -> false)
+                && value (i + 2)
+            | '"' -> after (i + 1)
+            | '\n' -> false
+            | _ -> value (i + 1)
+        and after i =
+          if i = len then true else s.[i] = ',' && name (i + 1)
+        in
+        name 0
+      in
+      let sample_ok line =
+        let len = String.length line in
+        match String.index_opt line '{' with
+        | None -> (
+            match String.index_opt line ' ' with
+            | None -> false
+            | Some i ->
+                name_ok (String.sub line 0 i)
+                && float_of_string_opt
+                     (String.sub line (i + 1) (len - i - 1))
+                   <> None)
+        | Some b -> (
+            match String.rindex_opt line '}' with
+            | None -> false
+            | Some e ->
+                e > b
+                && name_ok (String.sub line 0 b)
+                && label_block_ok (String.sub line (b + 1) (e - b - 1))
+                && e + 2 < len
+                && line.[e + 1] = ' '
+                && float_of_string_opt
+                     (String.sub line (e + 2) (len - e - 2))
+                   <> None)
+      in
+      let all_ok =
+        List.for_all
+          (fun line ->
+            if line.[0] = '#' then String.length line > 2 else sample_ok line)
+          lines
+      in
+      let starts_with p l =
+        String.length l >= String.length p
+        && String.sub l 0 (String.length p) = p
+      in
+      let headers =
+        List.length (List.filter (starts_with "# TYPE shared_total ") lines)
+      in
+      let samples =
+        List.length
+          (List.filter
+             (fun l ->
+               starts_with "shared_total " l || starts_with "shared_total{" l)
+             lines)
+      in
+      all_ok && headers = 1 && samples = n_groups)
+
+(* --- merge semantics (fleet telemetry aggregation) ------------------------ *)
+
+let gen_snapshot seed =
+  let rng = Dvz_util.Rng.create (seed + 11) in
+  let r = Metrics.create ~clock:(Clock.fake ()) () in
+  for _ = 1 to 1 + Dvz_util.Rng.int rng 3 do
+    Metrics.incr
+      ~by:(Dvz_util.Rng.int rng 100)
+      (Metrics.counter r (Printf.sprintf "c%d" (Dvz_util.Rng.int rng 4)));
+    Metrics.set
+      (Metrics.gauge r (Printf.sprintf "g%d" (Dvz_util.Rng.int rng 3)))
+      (float_of_int (Dvz_util.Rng.int rng 50));
+    let h =
+      Metrics.histogram r (Printf.sprintf "h%d" (Dvz_util.Rng.int rng 2))
+    in
+    for _ = 1 to Dvz_util.Rng.int rng 8 do
+      Metrics.observe h (float_of_int (1 + Dvz_util.Rng.int rng 64))
+    done
+  done;
+  Metrics.snapshot r
+
+let prop_metrics_merge_commutative =
+  QCheck.Test.make ~name:"Metrics.merge is commutative" ~count:60
+    QCheck.(pair small_int small_int)
+    (fun (sa, sb) ->
+      let a = gen_snapshot sa and b = gen_snapshot sb in
+      Metrics.merge a b = Metrics.merge b a
+      && Metrics.merge a Metrics.empty_snapshot = a
+      && Metrics.merge Metrics.empty_snapshot a = a)
+
+let test_metrics_merge_semantics () =
+  let reg obs =
+    let r = Metrics.create () in
+    Metrics.incr ~by:(fst obs) (Metrics.counter r "c");
+    Metrics.set (Metrics.gauge r "g") (snd obs);
+    List.iteri
+      (fun _ v -> Metrics.observe (Metrics.histogram r "h") v)
+      [ snd obs ];
+    Metrics.snapshot r
+  in
+  let m = Metrics.merge (reg (2, 1.5)) (reg (3, 0.5)) in
+  (match List.find_opt (fun (n, _, _) -> n = "c") m.Metrics.sn_counters with
+  | Some (_, _, v) -> Alcotest.(check int) "counters add" 5 v
+  | None -> Alcotest.fail "merged counter missing");
+  (match List.find_opt (fun (n, _, _) -> n = "g") m.Metrics.sn_gauges with
+  | Some (_, _, v) -> Alcotest.(check (float 0.0)) "gauges max" 1.5 v
+  | None -> Alcotest.fail "merged gauge missing");
+  match List.find_opt (fun (n, _, _) -> n = "h") m.Metrics.sn_histograms with
+  | Some (_, _, h) ->
+      Alcotest.(check int) "histogram counts add" 2 h.Metrics.hs_count;
+      Alcotest.(check (float 1e-9)) "histogram sums add" 2.0 h.Metrics.hs_sum
+  | None -> Alcotest.fail "merged histogram missing"
+
+(* Dyadic durations (sixteenths) keep float addition exact, so the
+   property is equality, not approximation. *)
+let gen_entries seed =
+  let rng = Dvz_util.Rng.create (seed + 23) in
+  let paths = [| "a"; "a/b"; "a/c"; "d"; "d/e" |] in
+  List.init
+    (1 + Dvz_util.Rng.int rng 5)
+    (fun _ ->
+      let p = paths.(Dvz_util.Rng.int rng (Array.length paths)) in
+      let depth =
+        String.fold_left (fun d c -> if c = '/' then d + 1 else d) 0 p
+      in
+      let name =
+        match String.rindex_opt p '/' with
+        | Some i -> String.sub p (i + 1) (String.length p - i - 1)
+        | None -> p
+      in
+      let six () = float_of_int (Dvz_util.Rng.int rng 64) /. 16.0 in
+      { Profile.pf_path = p;
+        pf_name = name;
+        pf_depth = depth;
+        pf_count = 1 + Dvz_util.Rng.int rng 9;
+        pf_total_s = six ();
+        pf_self_s = six ();
+        pf_max_s = six () })
+
+let prop_profile_merge_commutative =
+  QCheck.Test.make ~name:"Profile.merge is commutative" ~count:60
+    QCheck.(pair small_int small_int)
+    (fun (sa, sb) ->
+      let a = gen_entries sa and b = gen_entries sb in
+      Profile.merge a b = Profile.merge b a
+      && Profile.merge a [] = Profile.merge [] a)
+
 (* --- campaign telemetry --------------------------------------------------- *)
 
 let buffer_telemetry ?(progress_every = 0) () =
@@ -536,6 +755,51 @@ let test_ring_and_tee () =
   Alcotest.(check bool) "tee with one live branch is live" false
     (Events.is_null (Events.tee Events.null ring))
 
+(* --- events: batch sink (fleet worker flushes) ----------------------------- *)
+
+let test_events_batch_drain () =
+  let b = Events.batch ~cap:2 () in
+  Alcotest.(check bool) "batch is not null" false (Events.is_null b);
+  List.iter
+    (fun n -> Events.emit b [ ("type", Json.Str n) ])
+    [ "one"; "two"; "three" ];
+  let lines, dropped = Events.drain b in
+  Alcotest.(check (list string)) "cap kept, oldest first"
+    [ "{\"type\":\"one\"}"; "{\"type\":\"two\"}" ]
+    lines;
+  Alcotest.(check int) "overflow counted" 1 dropped;
+  Alcotest.(check (pair (list string) int)) "drain empties" ([], 0)
+    (Events.drain b);
+  Events.emit b [ ("type", Json.Str "four") ];
+  Alcotest.(check (pair (list string) int)) "refills, dropped reset"
+    ([ "{\"type\":\"four\"}" ], 0)
+    (Events.drain b);
+  Alcotest.(check (pair (list string) int)) "non-batch sinks drain empty"
+    ([], 0)
+    (Events.drain Events.null)
+
+let test_events_emit_rendered_context () =
+  let buf = Buffer.create 256 in
+  let sink =
+    Events.with_context (Events.to_buffer buf) [ ("wslot", Json.Int 3) ]
+  in
+  Events.emit_rendered sink {|{"type":"assign","epoch":1}|};
+  Events.emit_rendered sink "{}";
+  Events.emit_rendered sink "not json";
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  Alcotest.(check string) "context spliced into the object"
+    {|{"type":"assign","epoch":1,"wslot":3}|}
+    (List.nth lines 0);
+  Alcotest.(check string) "empty object gains context" {|{"wslot":3}|}
+    (List.nth lines 1);
+  match Json.of_string (List.nth lines 2) with
+  | Ok j ->
+      Alcotest.(check (option string)) "non-object wrapped" (Some "not json")
+        (Option.bind (Json.member "line" j) Json.to_str);
+      Alcotest.(check (option int)) "wrapped line keeps context" (Some 3)
+        (Option.bind (Json.member "wslot" j) Json.to_int)
+  | Error e -> Alcotest.failf "wrapped line not JSON: %s" e
+
 (* --- metrics: multi-domain safety ------------------------------------------ *)
 
 let test_metrics_domain_safety () =
@@ -675,8 +939,15 @@ let test_trace_event_export_valid () =
       | Ok j -> (
           match Json.member "traceEvents" j with
           | Some (Json.Arr items) ->
-              (* 2 thread-name metadata records + 3 complete events *)
-              Alcotest.(check int) "metas + events" 5 (List.length items);
+              (* 1 process-name + 2 thread-name metadata records + 3
+                 complete events *)
+              Alcotest.(check int) "metas + events" 6 (List.length items);
+              Alcotest.(check bool) "process_name metadata present" true
+                (List.exists
+                   (fun it ->
+                     Option.bind (Json.member "name" it) Json.to_str
+                     = Some "process_name")
+                   items);
               let ph it =
                 Option.bind (Json.member "ph" it) Json.to_str
               in
@@ -701,6 +972,107 @@ let test_trace_event_export_valid () =
                         | None -> false)
                    xs)
           | _ -> Alcotest.fail "traceEvents missing"))
+
+(* Incremental cursor reads: the fleet worker ships only the delta since
+   its previous flush. *)
+let test_profile_events_from () =
+  with_profiler ~trace:true (fun () ->
+      Profile.wrap "a" (fun () -> ());
+      let first, c1 = Profile.events_from 0 in
+      Alcotest.(check int) "one event so far" 1 (List.length first);
+      Profile.wrap "b" (fun () -> ());
+      Profile.wrap "c" (fun () -> ());
+      let next, c2 = Profile.events_from c1 in
+      Alcotest.(check (list string)) "delta only, in order" [ "b"; "c" ]
+        (List.map (fun e -> e.Profile.ev_name) next);
+      let empty, c3 = Profile.events_from c2 in
+      Alcotest.(check int) "drained" 0 (List.length empty);
+      Alcotest.(check int) "cursor stable" c2 c3;
+      Alcotest.(check (list string)) "full read still sees everything"
+        [ "a"; "b"; "c" ]
+        (List.map (fun e -> e.Profile.ev_name) (fst (Profile.events_from 0))))
+
+let test_render_table_percent_and_sort () =
+  let entry path self =
+    { Profile.pf_path = path;
+      pf_name = path;
+      pf_depth = 0;
+      pf_count = 1;
+      pf_total_s = self;
+      pf_self_s = self;
+      pf_max_s = self }
+  in
+  let table =
+    Profile.render_table
+      [ entry "small" 1.0; entry "big" 3.0; entry "mid" 1.0 ]
+  in
+  Alcotest.(check bool) "has a self % column" true (contains table "self %");
+  Alcotest.(check bool) "percentages of total self" true
+    (contains table "60.0" && contains table "20.0");
+  let index needle =
+    let rec go i =
+      if i + String.length needle > String.length table then
+        Alcotest.failf "table lacks %s" needle
+      else if String.sub table i (String.length needle) = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* self-time desc, then path asc on ties: big, mid, small *)
+  Alcotest.(check bool) "sorted by self desc then path" true
+    (index "big" < index "mid" && index "mid" < index "small")
+
+let test_trace_multi_group_export () =
+  let ev name tid start =
+    { Profile.ev_path = name;
+      ev_name = name;
+      ev_tid = tid;
+      ev_start = start;
+      ev_dur = 0.5 }
+  in
+  let groups =
+    [ (1, "dejavuzz coordinator", [ ev "a" 0 10.0 ]);
+      (3, "dejavuzz worker 1", [ ev "b" 0 10.5; ev "c" 1 11.0 ]) ]
+  in
+  match Json.of_string (Trace_event.render_multi groups) with
+  | Error e -> Alcotest.failf "multi trace not JSON: %s" e
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.Arr items) ->
+          (* 2 process metas + 3 thread metas + 3 X events *)
+          Alcotest.(check int) "metas + events" 8 (List.length items);
+          let str k it = Option.bind (Json.member k it) Json.to_str in
+          let int k it = Option.bind (Json.member k it) Json.to_int in
+          let pnames =
+            List.filter_map
+              (fun it ->
+                if str "name" it = Some "process_name" then
+                  match (int "pid" it, Json.member "args" it) with
+                  | Some pid, Some args ->
+                      Option.map (fun n -> (pid, n)) (str "name" args)
+                  | _ -> None
+                else None)
+              items
+          in
+          Alcotest.(check (list (pair int string)))
+            "one named process group per pid"
+            [ (1, "dejavuzz coordinator"); (3, "dejavuzz worker 1") ]
+            (List.sort compare pnames);
+          (* shared base: earliest region anywhere is ts 0 *)
+          let ts_of name =
+            match
+              List.find_opt (fun it -> str "name" it = Some name) items
+            with
+            | Some it -> int "ts" it
+            | None -> None
+          in
+          Alcotest.(check (option int)) "earliest event at ts 0" (Some 0)
+            (ts_of "a");
+          Alcotest.(check (option int)) "worker event on the shared axis"
+            (Some 500_000) (ts_of "b");
+          Alcotest.(check (option int)) "second worker track" (Some 1_000_000)
+            (ts_of "c")
+      | _ -> Alcotest.fail "traceEvents missing")
 
 (* --- live status server ----------------------------------------------------- *)
 
@@ -749,7 +1121,14 @@ let test_live_server_endpoints () =
   in
   ignore (Campaign.run ~telemetry:tel boom (small_options 5 2));
   let routes =
-    [ ("/healthz", fun _ -> Server.text "ok\n");
+    [ ( "/healthz",
+        fun _ ->
+          Server.json
+            (Json.Obj
+               [ ("version", Json.Str "test");
+                 ("uptime_s", Json.Float 0.0);
+                 ("pid", Json.Int (Unix.getpid ()));
+                 ("mode", Json.Str "local") ]) );
       ( "/status",
         fun _ ->
           match Campaign.board_read board with
@@ -763,12 +1142,23 @@ let test_live_server_endpoints () =
             body = Exporters.prometheus registry } );
       ( "/events",
         fun query ->
-          let n =
-            match List.assoc_opt "n" query with
-            | Some s -> ( try int_of_string s with Failure _ -> 5)
-            | None -> 5
-          in
-          Server.text (String.concat "\n" (Events.recent ring n) ^ "\n") ) ]
+          match Server.int_param ~default:5 "n" query with
+          | Error resp -> resp
+          | Ok n ->
+              let keep =
+                match List.assoc_opt "kind" query with
+                | None -> fun _ -> true
+                | Some kind -> (
+                    fun line ->
+                      match Json.of_string line with
+                      | Ok j ->
+                          Option.bind (Json.member "type" j) Json.to_str
+                          = Some kind
+                      | Error _ -> false)
+              in
+              Server.text
+                (String.concat "\n" (List.filter keep (Events.recent ring n))
+                ^ "\n") ) ]
   in
   match Server.start ~port:0 ~routes () with
   | Error e -> Alcotest.failf "server did not start: %s" e
@@ -779,7 +1169,17 @@ let test_live_server_endpoints () =
           let port = Server.port srv in
           let headers, body = split_response (http_get port "/healthz") in
           Alcotest.(check bool) "healthz 200" true (contains headers " 200 ");
-          Alcotest.(check string) "healthz body" "ok\n" body;
+          (match Json.of_string body with
+          | Error e -> Alcotest.failf "/healthz not JSON: %s" e
+          | Ok j ->
+              Alcotest.(check (option string)) "healthz mode" (Some "local")
+                (Option.bind (Json.member "mode" j) Json.to_str);
+              Alcotest.(check (option int)) "healthz pid"
+                (Some (Unix.getpid ()))
+                (Option.bind (Json.member "pid" j) Json.to_int);
+              Alcotest.(check bool) "healthz version" true
+                (Json.member "version" j <> None
+                && Json.member "uptime_s" j <> None));
           let sheaders, sbody = split_response (http_get port "/status") in
           Alcotest.(check bool) "status 200" true (contains sheaders " 200 ");
           Alcotest.(check bool) "status is json" true
@@ -823,6 +1223,30 @@ let test_live_server_endpoints () =
                    (Json.member "type" (List.nth evs 1))
                    Json.to_str)
           | Error e -> Alcotest.failf "/events tail not JSONL: %s" e);
+          let _, kbody =
+            split_response (http_get port "/events?kind=campaign_end&n=5")
+          in
+          (match Json.of_lines kbody with
+          | Ok evs ->
+              Alcotest.(check bool) "kind filter keeps only matches" true
+                (evs <> []
+                && List.for_all
+                     (fun ev ->
+                       Option.bind (Json.member "type" ev) Json.to_str
+                       = Some "campaign_end")
+                     evs)
+          | Error e -> Alcotest.failf "filtered /events not JSONL: %s" e);
+          (* Query-string hardening: junk values, duplicate keys and
+             overlong queries are a client error, never an exception. *)
+          List.iter
+            (fun path ->
+              let h, _ = split_response (http_get port path) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s is 400" path)
+                true (contains h " 400 "))
+            [ "/events?n=abc";
+              "/events?n=2&n=3";
+              "/events?" ^ String.make 2000 'q' ];
           let nheaders, _ = split_response (http_get port "/nope") in
           Alcotest.(check bool) "unknown path is 404" true
             (contains nheaders " 404 "))
@@ -909,7 +1333,11 @@ let () =
         [ Alcotest.test_case "sinks and context" `Quick
             test_events_sink_and_context;
           Alcotest.test_case "ring tails and tee fan-out" `Quick
-            test_ring_and_tee ] );
+            test_ring_and_tee;
+          Alcotest.test_case "batch sink drains with overflow count" `Quick
+            test_events_batch_drain;
+          Alcotest.test_case "rendered lines gain context" `Quick
+            test_events_emit_rendered_context ] );
       ( "profile",
         [ QCheck_alcotest.to_alcotest prop_profile_self_time;
           Alcotest.test_case "aggregation counts and artifact" `Quick
@@ -917,7 +1345,14 @@ let () =
           Alcotest.test_case "disarmed probes allocation-free" `Quick
             test_profile_disarmed_probe_allocation_free;
           Alcotest.test_case "trace-event export is valid" `Quick
-            test_trace_event_export_valid ] );
+            test_trace_event_export_valid;
+          Alcotest.test_case "incremental event cursor" `Quick
+            test_profile_events_from;
+          Alcotest.test_case "table percent column and sort" `Quick
+            test_render_table_percent_and_sort;
+          Alcotest.test_case "multi-process trace export" `Quick
+            test_trace_multi_group_export;
+          QCheck_alcotest.to_alcotest prop_profile_merge_commutative ] );
       ( "server",
         [ Alcotest.test_case "slow clients dropped at deadline" `Quick
             test_server_drops_slow_clients;
@@ -935,7 +1370,11 @@ let () =
           Alcotest.test_case "duplicate snapshot keys" `Quick
             test_snapshot_json_duplicate_keys;
           QCheck_alcotest.to_alcotest prop_prometheus_well_formed;
-          QCheck_alcotest.to_alcotest prop_json_exporter_roundtrip ] );
+          QCheck_alcotest.to_alcotest prop_prometheus_labelled_well_formed;
+          QCheck_alcotest.to_alcotest prop_json_exporter_roundtrip;
+          Alcotest.test_case "merge semantics" `Quick
+            test_metrics_merge_semantics;
+          QCheck_alcotest.to_alcotest prop_metrics_merge_commutative ] );
       ( "campaign",
         [ Alcotest.test_case "jsonl golden, 3 iterations" `Quick
             test_jsonl_golden_3_iterations;
