@@ -246,6 +246,34 @@ let validate t =
         m.m_writes)
     t.memories
 
+(* Deep copy for the optimization passes: signal indices are preserved so
+   handles minted against the original keep working against the copy, but
+   every mutable record (nodes array, register d/en slots, memory write-port
+   lists) is duplicated so rewrites cannot leak back into the source. *)
+let copy t =
+  let mem_map = Hashtbl.create 8 in
+  let memories =
+    List.map
+      (fun m ->
+        let m' = { m with m_writes = m.m_writes } in
+        Hashtbl.replace mem_map m.m_id m';
+        m')
+      t.memories
+  in
+  let copy_cell = function
+    | Reg r -> Reg { d = r.d; en = r.en; init = r.init }
+    | Mem_read (m, a) -> Mem_read (Hashtbl.find mem_map m.m_id, a)
+    | c -> c
+  in
+  let nodes = Array.map (fun n -> { n with cell = copy_cell n.cell }) t.nodes in
+  { nodes; count = t.count; scope = t.scope; memories; next_mem = t.next_mem }
+
+let set_cell t s cell =
+  let n = t.nodes.(s) in
+  t.nodes.(s) <- { n with cell }
+
+let set_mem_writes m writes = m.m_writes <- List.rev writes
+
 let modules t =
   let tbl = Hashtbl.create 16 in
   for i = 0 to t.count - 1 do

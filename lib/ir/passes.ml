@@ -1,0 +1,415 @@
+(* Netlist optimization pass pipeline.
+
+   Stage 1 of the two-stage lowering refactor: a small set of rewrites runs
+   over a deep copy of the input netlist before either engine compiles it.
+   Signal indices are stable — cells are rewritten in place, and removal is
+   expressed by turning a dead cell into [Const 0], which drops it out of
+   {!Netlist.topo_order} (constants are leaves) without renumbering anything.
+
+   Every rewrite here must be sound for the IFT shadow engine too: the same
+   optimized netlist is lowered by [Sim] and [Shadow], so a rewrite is only
+   admitted when the {!Dvz_ift.Policy} taint of the rewritten cell equals the
+   taint of the original for all inputs, in both Cellift and Diffift modes.
+   That rules out several classically valid simplifications:
+
+   - [Add (x, Const 0)] -> [x]: arithmetic taint spreads upward from the
+     lowest tainted bit, so the sum's taint is [spread_up tx], not [tx].
+   - [Xor (x, x)] / [Sub (x, x)] / [Eq (x, x)] -> constant: the value is
+     constant but the taint is not — a tainted operand taints the output
+     under CellIFT, while a [Const] cell's taint is always zero.
+   - [Shr (Slice (x, l), k)] fusion: the intermediate mask changes the
+     value, unlike the slice-of-slice and shift-of-shift compositions.
+
+   The admitted set (constant folding over taint-free operands, aliasing to
+   an operand whose taint provably equals the output taint, shift/slice
+   composition, and dead-cell elimination) is checked end to end by the
+   randomized differential properties in [test_ir.ml] / [test_ift.ml]. *)
+
+module N = Netlist
+module Metrics = Dvz_obs.Metrics
+
+let m_eliminated =
+  Metrics.counter Metrics.default
+    ~help:"Combinational cells removed by the netlist optimization passes"
+    "dvz_ir_cells_eliminated_total"
+
+let m_passes_run =
+  Metrics.counter Metrics.default
+    ~help:"Netlist optimization pass executions"
+    "dvz_ir_passes_run_total"
+
+(* Process-global escape hatch (the CLI's --no-ir-opt): when cleared, every
+   [?opt:true] engine construction silently skips optimization, including in
+   worker domains.  Read once per [create], never per cycle. *)
+let enable = Atomic.make true
+
+let set_enabled b = Atomic.set enable b
+let enabled () = Atomic.get enable
+
+type pass_stat = {
+  ps_name : string;
+  ps_cells_before : int;
+  ps_cells_after : int;
+  ps_rewrites : int;
+}
+
+type stats = {
+  st_passes : pass_stat list;
+  st_cells_before : int;
+  st_cells_after : int;
+}
+
+let default_passes = [ "const-fold"; "alias"; "fuse"; "dce" ]
+
+(* The optimization unit is a combinational cell; inputs, constants and
+   registers are state, not work, so the headline count is the number of
+   cells the engines will actually execute per [eval]. *)
+let comb_cells nl = Array.length (N.topo_order nl)
+
+let sig_int (s : N.signal) = (s :> int)
+
+(* Shifts whose amount reaches the word size are unspecified in OCaml; the
+   netlist never holds more than [Bits.max_width] live bits, so anything
+   shifted that far is all zeros. *)
+let shl_safe v n = if n >= Sys.int_size then 0 else v lsl n
+let shr_safe v n = if n >= Sys.int_size then 0 else v lsr n
+
+let const_val nl s =
+  match N.cell_of nl s with N.Const v -> Some v | _ -> None
+
+(* ---- constant folding ----------------------------------------------- *)
+
+(* Folds cells whose operands are all [Const] (their taints are zero, so
+   every policy term vanishes and a [Const] result is taint-exact), plus
+   the two absorbing forms whose output taint is identically zero even for
+   a tainted variable operand: [And x 0] and [Or x ones]. *)
+let fold_cell nl s =
+  let w = N.width_of nl s in
+  let ones = Bits.mask w in
+  let cv = const_val nl in
+  match N.cell_of nl s with
+  | N.Not a -> (
+      match cv a with
+      | Some v -> Some (Bits.trunc w (lnot v))
+      | None -> None)
+  | N.And (a, b) -> (
+      match (cv a, cv b) with
+      | Some va, Some vb -> Some (va land vb)
+      | (Some 0, _ | _, Some 0) -> Some 0
+      | _ -> None)
+  | N.Or (a, b) -> (
+      match (cv a, cv b) with
+      | Some va, Some vb -> Some (va lor vb)
+      | (Some v, _ | _, Some v) when v = ones -> Some ones
+      | _ -> None)
+  | N.Xor (a, b) -> (
+      match (cv a, cv b) with
+      | Some va, Some vb -> Some (va lxor vb)
+      | _ -> None)
+  | N.Add (a, b) -> (
+      match (cv a, cv b) with
+      | Some va, Some vb -> Some (Bits.trunc w (va + vb))
+      | _ -> None)
+  | N.Sub (a, b) -> (
+      match (cv a, cv b) with
+      | Some va, Some vb -> Some (Bits.trunc w (va - vb))
+      | _ -> None)
+  | N.Eq (a, b) -> (
+      match (cv a, cv b) with
+      | Some va, Some vb -> Some (if va = vb then 1 else 0)
+      | _ -> None)
+  | N.Lt (a, b) -> (
+      match (cv a, cv b) with
+      | Some va, Some vb -> Some (if va < vb then 1 else 0)
+      | _ -> None)
+  | N.Shl (a, n) -> (
+      match cv a with
+      | Some v -> Some (Bits.trunc w (shl_safe v n))
+      | None -> None)
+  | N.Shr (a, n) -> (
+      match cv a with
+      | Some v -> Some (Bits.trunc w (shr_safe v n))
+      | None -> None)
+  | N.Slice (a, lo) -> (
+      match cv a with
+      | Some v -> Some (Bits.trunc w (shr_safe v lo))
+      | None -> None)
+  | N.Concat (hi, lo) -> (
+      match (cv hi, cv lo) with
+      | Some vh, Some vl ->
+          Some (Bits.trunc w ((vh lsl N.width_of nl lo) lor vl))
+      | _ -> None)
+  | N.Mux (sel, a, b) -> (
+      match (cv sel, cv a, cv b) with
+      | Some vs, Some va, Some vb -> Some (if vs <> 0 then vb else va)
+      | _ -> None)
+  | N.Input | N.Const _ | N.Reg _ | N.Mem_read _ -> None
+
+let pass_const_fold nl =
+  let n = N.num_signals nl in
+  let total = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let s = N.signal_of_int nl i in
+      match fold_cell nl s with
+      | Some v ->
+          N.set_cell nl s (N.Const v);
+          incr total;
+          changed := true
+      | None -> ()
+    done
+  done;
+  !total
+
+(* ---- aliasing (copy propagation) ------------------------------------ *)
+
+(* A cell aliases signal [x] when its value AND its taint equal [x]'s for
+   every input; users are rewired to read [x] directly.  The aliased cell
+   itself is left in place (it may carry a name the VCD dumper and the
+   provenance tracer rely on); if it becomes unreferenced and unnamed the
+   DCE pass retires it. *)
+let alias_of nl s =
+  let w = N.width_of nl s in
+  let cv = const_val nl in
+  match N.cell_of nl s with
+  | N.Slice (x, 0) when N.width_of nl x = w -> Some x
+  | N.Not y -> (
+      match N.cell_of nl y with N.Not x -> Some x | _ -> None)
+  | N.And (a, b) when sig_int a = sig_int b -> Some a
+  | N.Or (a, b) when sig_int a = sig_int b -> Some a
+  | N.And (a, b) -> (
+      let ones = Bits.mask w in
+      match (cv a, cv b) with
+      | Some v, _ when v = ones -> Some b
+      | _, Some v when v = ones -> Some a
+      | _ -> None)
+  | N.Or (a, b) | N.Xor (a, b) -> (
+      match (cv a, cv b) with
+      | Some 0, _ -> Some b
+      | _, Some 0 -> Some a
+      | _ -> None)
+  | N.Mux (_, a, b) when sig_int a = sig_int b -> Some a
+  | N.Mux (sel, a, b) -> (
+      match cv sel with
+      | Some v -> Some (if v <> 0 then b else a)
+      | None -> None)
+  | N.Shl (x, 0) | N.Shr (x, 0) -> Some x
+  | _ -> None
+
+let pass_alias nl =
+  let n = N.num_signals nl in
+  let repl = Array.make (max n 1) (-1) in
+  let found = ref 0 in
+  for i = 0 to n - 1 do
+    match alias_of nl (N.signal_of_int nl i) with
+    | Some x -> repl.(i) <- sig_int x; incr found
+    | None -> ()
+  done;
+  if !found = 0 then 0
+  else begin
+    (* Path-compress chains of aliases down to their roots. *)
+    let rec root i = if repl.(i) < 0 then i else root repl.(i) in
+    for i = 0 to n - 1 do
+      if repl.(i) >= 0 then repl.(i) <- root repl.(i)
+    done;
+    let sub s = if repl.(sig_int s) >= 0 then
+        N.signal_of_int nl repl.(sig_int s) else s in
+    for i = 0 to n - 1 do
+      let s = N.signal_of_int nl i in
+      match N.cell_of nl s with
+      | N.Input | N.Const _ -> ()
+      | N.Not a -> N.set_cell nl s (N.Not (sub a))
+      | N.And (a, b) -> N.set_cell nl s (N.And (sub a, sub b))
+      | N.Or (a, b) -> N.set_cell nl s (N.Or (sub a, sub b))
+      | N.Xor (a, b) -> N.set_cell nl s (N.Xor (sub a, sub b))
+      | N.Mux (c, a, b) -> N.set_cell nl s (N.Mux (sub c, sub a, sub b))
+      | N.Eq (a, b) -> N.set_cell nl s (N.Eq (sub a, sub b))
+      | N.Lt (a, b) -> N.set_cell nl s (N.Lt (sub a, sub b))
+      | N.Add (a, b) -> N.set_cell nl s (N.Add (sub a, sub b))
+      | N.Sub (a, b) -> N.set_cell nl s (N.Sub (sub a, sub b))
+      | N.Shl (a, k) -> N.set_cell nl s (N.Shl (sub a, k))
+      | N.Shr (a, k) -> N.set_cell nl s (N.Shr (sub a, k))
+      | N.Slice (a, lo) -> N.set_cell nl s (N.Slice (sub a, lo))
+      | N.Concat (a, b) -> N.set_cell nl s (N.Concat (sub a, sub b))
+      | N.Reg r ->
+          (match r.N.d with Some d -> r.N.d <- Some (sub d) | None -> ());
+          (match r.N.en with Some e -> r.N.en <- Some (sub e) | None -> ())
+      | N.Mem_read (m, a) -> N.set_cell nl s (N.Mem_read (m, sub a))
+    done;
+    List.iter
+      (fun m ->
+        N.set_mem_writes m
+          (List.map
+             (fun (wen, addr, data) -> (sub wen, sub addr, sub data))
+             (N.mem_writes m)))
+      (N.mems nl);
+    !found
+  end
+
+(* ---- fusion of single-use shift/slice chains ------------------------- *)
+
+let use_counts nl =
+  let n = N.num_signals nl in
+  let uses = Array.make (max n 1) 0 in
+  let touch s = uses.(sig_int s) <- uses.(sig_int s) + 1 in
+  for i = 0 to n - 1 do
+    match N.cell_of nl (N.signal_of_int nl i) with
+    | N.Reg r ->
+        (match r.N.d with Some d -> touch d | None -> ());
+        (match r.N.en with Some e -> touch e | None -> ())
+    | c -> List.iter touch (N.deps c)
+  done;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (wen, addr, data) -> touch wen; touch addr; touch data)
+        (N.mem_writes m))
+    (N.mems nl);
+  uses
+
+(* Composes nested shifts and slices when the inner cell is unnamed and has
+   exactly one user, so the chain collapses to a single cell once DCE runs.
+   Slice-of-shift is only fused when the composed [lo] still fits inside
+   the source signal — [set_cell] bypasses the builder's bound check and
+   downstream tooling assumes in-range slices. *)
+let pass_fuse nl =
+  let n = N.num_signals nl in
+  let total = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let uses = use_counts nl in
+    let fusable inner =
+      uses.(sig_int inner) = 1 && N.name_of nl inner = ""
+    in
+    for i = 0 to n - 1 do
+      let s = N.signal_of_int nl i in
+      let w = N.width_of nl s in
+      let rewrite c = N.set_cell nl s c; incr total; changed := true in
+      match N.cell_of nl s with
+      | N.Slice (inner, l2) when fusable inner -> (
+          match N.cell_of nl inner with
+          | N.Slice (x, l1) -> rewrite (N.Slice (x, l1 + l2))
+          | N.Shr (x, k) when k + l2 + w <= N.width_of nl x ->
+              rewrite (N.Slice (x, k + l2))
+          | _ -> ())
+      | N.Shr (inner, k2) when fusable inner -> (
+          match N.cell_of nl inner with
+          | N.Shr (x, k1) ->
+              if k1 + k2 >= Sys.int_size then rewrite (N.Const 0)
+              else rewrite (N.Shr (x, k1 + k2))
+          | _ -> ())
+      | N.Shl (inner, k2) when fusable inner -> (
+          match N.cell_of nl inner with
+          | N.Shl (x, k1) ->
+              if k1 + k2 >= Sys.int_size then rewrite (N.Const 0)
+              else rewrite (N.Shl (x, k1 + k2))
+          | _ -> ())
+      | _ -> ()
+    done
+  done;
+  !total
+
+(* ---- dead-cell elimination ------------------------------------------- *)
+
+(* Roots: every named cell (the observable surface — VCD, provenance and
+   [peek]-based tests address signals by name), every input and register
+   (inputs are driven externally; registers are architectural state), and
+   every memory write port.  Unnamed combinational cells unreachable from
+   a root are rewritten to [Const 0], which removes them from the engines'
+   execution schedule while keeping signal numbering intact. *)
+let pass_dce nl =
+  let n = N.num_signals nl in
+  let live = Array.make (max n 1) false in
+  let rec mark s =
+    let i = sig_int s in
+    if not live.(i) then begin
+      live.(i) <- true;
+      match N.cell_of nl s with
+      | N.Reg r ->
+          (match r.N.d with Some d -> mark d | None -> ());
+          (match r.N.en with Some e -> mark e | None -> ())
+      | c -> List.iter mark (N.deps c)
+    end
+  in
+  for i = 0 to n - 1 do
+    let s = N.signal_of_int nl i in
+    match N.cell_of nl s with
+    | N.Input | N.Reg _ -> mark s
+    | _ -> if N.name_of nl s <> "" then mark s
+  done;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (wen, addr, data) -> mark wen; mark addr; mark data)
+        (N.mem_writes m))
+    (N.mems nl);
+  let removed = ref 0 in
+  for i = 0 to n - 1 do
+    if not live.(i) then begin
+      let s = N.signal_of_int nl i in
+      match N.cell_of nl s with
+      | N.Const _ -> ()
+      | _ -> N.set_cell nl s (N.Const 0); incr removed
+    end
+  done;
+  !removed
+
+(* ---- driver ----------------------------------------------------------- *)
+
+let pass_fn = function
+  | "const-fold" -> pass_const_fold
+  | "alias" -> pass_alias
+  | "fuse" -> pass_fuse
+  | "dce" -> pass_dce
+  | name -> invalid_arg ("Passes.run: unknown pass " ^ name)
+
+let run ?(passes = default_passes) src =
+  List.iter (fun p -> ignore (pass_fn p : N.t -> int)) passes;
+  let nl = N.copy src in
+  let cells_before = comb_cells nl in
+  let stats_rev = ref [] in
+  let run_one name =
+    let before = comb_cells nl in
+    let rewrites = (pass_fn name) nl in
+    Metrics.incr m_passes_run;
+    stats_rev :=
+      { ps_name = name; ps_cells_before = before;
+        ps_cells_after = comb_cells nl; ps_rewrites = rewrites }
+      :: !stats_rev;
+    rewrites
+  in
+  (* The simplification passes feed each other (an alias can expose a new
+     constant operand, a fold can expose a new alias), so the non-DCE
+     prefix iterates to a fixpoint; DCE runs once at the end since nothing
+     here resurrects a dead cell. *)
+  let simplify = List.filter (fun p -> p <> "dce") passes in
+  let rounds = ref 0 in
+  let again = ref (simplify <> []) in
+  while !again && !rounds < 8 do
+    incr rounds;
+    again := List.fold_left (fun acc p -> run_one p + acc) 0 simplify > 0
+  done;
+  if List.mem "dce" passes then ignore (run_one "dce");
+  N.validate nl;
+  let cells_after = comb_cells nl in
+  if cells_before > cells_after then
+    Metrics.incr ~by:(cells_before - cells_after) m_eliminated;
+  ( nl,
+    { st_passes = List.rev !stats_rev;
+      st_cells_before = cells_before;
+      st_cells_after = cells_after } )
+
+let optimize nl = fst (run nl)
+
+let pp_stats ppf st =
+  Format.fprintf ppf "combinational cells: %d -> %d (%d eliminated)@,"
+    st.st_cells_before st.st_cells_after
+    (st.st_cells_before - st.st_cells_after);
+  List.iter
+    (fun ps ->
+      Format.fprintf ppf "  %-12s cells %4d -> %4d  rewrites %d@," ps.ps_name
+        ps.ps_cells_before ps.ps_cells_after ps.ps_rewrites)
+    st.st_passes

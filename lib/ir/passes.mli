@@ -1,0 +1,59 @@
+(** Netlist optimization passes — stage 1 of the two-stage lowering.
+
+    [run] deep-copies the input netlist ({!Netlist.copy}), rewrites the copy
+    in place and returns it together with per-pass cell-count statistics;
+    the original is never modified and signal handles remain valid against
+    the optimized copy (indices are stable — removal turns a cell into
+    [Const 0] rather than renumbering).
+
+    Every rewrite is sound for the IFT shadow engine as well as the value
+    engine: the optimized netlist must produce bit-identical values {e and}
+    taints (both {!Dvz_ift.Policy} modes) to the original on every named
+    signal, register, memory and output.  Rewrites that preserve values but
+    not taints (e.g. [x ^ x -> 0], [x + 0 -> x]) are deliberately excluded;
+    see the commentary in [passes.ml].
+
+    Consequences of dead-cell elimination: an {e unnamed} combinational cell
+    feeding nothing observable is rewritten to [Const 0], so peeking it in a
+    simulator built from the optimized netlist reads 0.  Named cells,
+    inputs, registers and memory write ports are always preserved, which is
+    what keeps VCD dumps and provenance slices identical.  Optimization is
+    therefore opt-in ([?opt] on the engine constructors). *)
+
+val set_enabled : bool -> unit
+(** Process-global escape hatch, wired to the CLI's [--no-ir-opt]: when set
+    to [false], every [?opt:true] engine construction ({!Sim.create},
+    {!Sim.Lanes.create}, the shadow co-simulators, {!Vcd.dump_simulation})
+    skips optimization.  Defaults to [true].  Direct {!run} calls are not
+    affected. *)
+
+val enabled : unit -> bool
+
+type pass_stat = {
+  ps_name : string;
+  ps_cells_before : int;  (** combinational cells before this pass ran *)
+  ps_cells_after : int;   (** combinational cells after *)
+  ps_rewrites : int;      (** individual cell rewrites applied *)
+}
+
+type stats = {
+  st_passes : pass_stat list;  (** one entry per pass execution, in order *)
+  st_cells_before : int;
+  st_cells_after : int;
+}
+
+val default_passes : string list
+(** [["const-fold"; "alias"; "fuse"; "dce"]]. *)
+
+val run : ?passes:string list -> Netlist.t -> Netlist.t * stats
+(** [run nl] optimizes a copy of [nl] and returns it with statistics.  The
+    simplification passes iterate to a fixpoint (bounded); ["dce"] runs once
+    at the end.  The result is re-checked with {!Netlist.validate}.  Raises
+    [Invalid_argument] on an unknown pass name.  Bumps the
+    [dvz_ir_passes_run_total] and [dvz_ir_cells_eliminated_total] counters
+    on the default metrics registry. *)
+
+val optimize : Netlist.t -> Netlist.t
+(** [optimize nl] is [fst (run nl)]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -582,6 +582,178 @@ let test_shadow_compiled_cycle_allocation_free () =
        delta)
     true (delta < 64.0)
 
+(* The optimization passes must preserve taints bit-for-bit, not just
+   values: same DUT as the engine differential, optimized shadow vs plain
+   shadow, compared on named signals (values A/B and taint), registers and
+   memory taint.  Dead unnamed cells are excluded by construction — the
+   optimized engine reads them as 0. *)
+let shadow_opt_differential mode () =
+  let rob = Circuits.rob ~entries:8 ~uopc_width:7 in
+  let nl = rob.Circuits.rob_nl in
+  let m, wen, waddr, wdata, raddr =
+    N.scoped nl "prf" (fun () ->
+        let m = N.mem nl ~name:"regfile" ~width:8 ~depth:8 () in
+        let wen = N.input nl ~name:"wen" 1 in
+        let waddr = N.input nl ~name:"waddr" 4 in
+        let wdata = N.input nl ~name:"wdata" 8 in
+        N.mem_write nl m ~wen ~addr:waddr ~data:wdata;
+        let raddr = N.input nl ~name:"raddr" 4 in
+        ignore (N.mem_read nl m raddr);
+        (m, wen, waddr, wdata, raddr))
+  in
+  let plain = Shadow.create mode nl in
+  let opt = Shadow.create ~opt:true mode nl in
+  let rng = Dvz_util.Rng.create 777 in
+  for cycle = 1 to 60 do
+    let both f = f plain; f opt in
+    let enq = Dvz_util.Rng.int rng 2 in
+    let uopc_a = Dvz_util.Rng.int rng 128 in
+    let uopc_b = Dvz_util.Rng.int rng 128 in
+    let rb = Dvz_util.Rng.int rng 2 in
+    let rbi_a = Dvz_util.Rng.int rng 8 in
+    let rbi_b = Dvz_util.Rng.int rng 8 in
+    let we = Dvz_util.Rng.int rng 2 in
+    let wa = Dvz_util.Rng.int rng 16 in
+    let wd_a = Dvz_util.Rng.int rng 256 in
+    let wd_b = Dvz_util.Rng.int rng 256 in
+    let wt = Dvz_util.Rng.int rng 256 in
+    let ra = Dvz_util.Rng.int rng 16 in
+    both (fun sh ->
+        Shadow.set_input sh rob.Circuits.enq_valid enq;
+        Shadow.set_input_pair sh rob.Circuits.enq_uopc uopc_a uopc_b;
+        Shadow.set_input sh rob.Circuits.rollback rb;
+        Shadow.set_input_pair sh rob.Circuits.rollback_idx rbi_a rbi_b;
+        Shadow.set_input sh wen we;
+        Shadow.set_input sh waddr wa;
+        Shadow.set_input_pair sh wdata wd_a wd_b;
+        Shadow.set_input_taint sh wdata wt;
+        Shadow.set_input sh raddr ra;
+        Shadow.cycle sh);
+    for k = 0 to N.num_signals nl - 1 do
+      let s = N.signal_of_int nl k in
+      if
+        N.name_of nl s <> ""
+        && (Shadow.peek_a plain s <> Shadow.peek_a opt s
+           || Shadow.peek_b plain s <> Shadow.peek_b opt s
+           || Shadow.taint_of plain s <> Shadow.taint_of opt s)
+      then
+        Alcotest.failf "cycle %d: named signal #%d diverges under optimization"
+          cycle k
+    done;
+    for w = 0 to N.mem_depth m - 1 do
+      if Shadow.mem_taint plain m w <> Shadow.mem_taint opt m w then
+        Alcotest.failf "cycle %d: memory word %d taint diverges" cycle w
+    done;
+    Alcotest.(check int) "tainted_registers agrees"
+      (Shadow.tainted_registers plain)
+      (Shadow.tainted_registers opt)
+  done
+
+(* Shadow lanes pinned to the scalar shadow: per lane, every signal's A/B
+   values and taint, every memory word's taint, every tick — both modes. *)
+let shadow_lanes_differential mode () =
+  let rob = Circuits.rob ~entries:8 ~uopc_width:7 in
+  let nl = rob.Circuits.rob_nl in
+  let m, wen, waddr, wdata =
+    N.scoped nl "prf" (fun () ->
+        let m = N.mem nl ~name:"regfile" ~width:8 ~depth:8 () in
+        let wen = N.input nl ~name:"wen" 1 in
+        let waddr = N.input nl ~name:"waddr" 4 in
+        let wdata = N.input nl ~name:"wdata" 8 in
+        N.mem_write nl m ~wen ~addr:waddr ~data:wdata;
+        (m, wen, waddr, wdata))
+  in
+  let k = 3 in
+  let lanes = Shadow.Lanes.create ~k mode nl in
+  let scalars = Array.init k (fun _ -> Shadow.create mode nl) in
+  let rng = Dvz_util.Rng.create 909 in
+  for cycle = 1 to 40 do
+    for l = 0 to k - 1 do
+      let sh = scalars.(l) in
+      let enq = Dvz_util.Rng.int rng 2 in
+      let uopc_a = Dvz_util.Rng.int rng 128 in
+      let uopc_b = Dvz_util.Rng.int rng 128 in
+      let rb = Dvz_util.Rng.int rng 2 in
+      let rbi = Dvz_util.Rng.int rng 8 in
+      let we = Dvz_util.Rng.int rng 2 in
+      let wa = Dvz_util.Rng.int rng 16 in
+      let wd_a = Dvz_util.Rng.int rng 256 in
+      let wd_b = Dvz_util.Rng.int rng 256 in
+      let wt = Dvz_util.Rng.int rng 256 in
+      Shadow.set_input sh rob.Circuits.enq_valid enq;
+      Shadow.Lanes.set_input lanes ~lane:l rob.Circuits.enq_valid enq;
+      Shadow.set_input_pair sh rob.Circuits.enq_uopc uopc_a uopc_b;
+      Shadow.Lanes.set_input_pair lanes ~lane:l rob.Circuits.enq_uopc uopc_a
+        uopc_b;
+      Shadow.set_input sh rob.Circuits.rollback rb;
+      Shadow.Lanes.set_input lanes ~lane:l rob.Circuits.rollback rb;
+      Shadow.set_input sh rob.Circuits.rollback_idx rbi;
+      Shadow.Lanes.set_input lanes ~lane:l rob.Circuits.rollback_idx rbi;
+      Shadow.set_input sh wen we;
+      Shadow.Lanes.set_input lanes ~lane:l wen we;
+      Shadow.set_input sh waddr wa;
+      Shadow.Lanes.set_input lanes ~lane:l waddr wa;
+      Shadow.set_input_pair sh wdata wd_a wd_b;
+      Shadow.Lanes.set_input_pair lanes ~lane:l wdata wd_a wd_b;
+      Shadow.set_input_taint sh wdata wt;
+      Shadow.Lanes.set_input_taint lanes ~lane:l wdata wt
+    done;
+    Shadow.Lanes.cycle lanes;
+    Array.iter Shadow.cycle scalars;
+    for l = 0 to k - 1 do
+      for i = 0 to N.num_signals nl - 1 do
+        let s = N.signal_of_int nl i in
+        if
+          Shadow.Lanes.peek_a lanes ~lane:l s <> Shadow.peek_a scalars.(l) s
+          || Shadow.Lanes.peek_b lanes ~lane:l s <> Shadow.peek_b scalars.(l) s
+          || Shadow.Lanes.taint_of lanes ~lane:l s
+             <> Shadow.taint_of scalars.(l) s
+        then
+          Alcotest.failf "cycle %d lane %d: signal #%d diverges from scalar"
+            cycle l i
+      done;
+      for w = 0 to N.mem_depth m - 1 do
+        if
+          Shadow.Lanes.mem_taint lanes ~lane:l m w
+          <> Shadow.mem_taint scalars.(l) m w
+        then
+          Alcotest.failf "cycle %d lane %d: memory word %d taint diverges"
+            cycle l w
+      done
+    done
+  done;
+  Alcotest.(check int) "ticks agree" (Shadow.ticks scalars.(0))
+    (Shadow.Lanes.ticks lanes)
+
+(* Correctness guard for [dejavuzz explain]: a provenance-armed shadow
+   ignores [?opt] (optimization would restructure the unnamed intermediate
+   hops a slice reports), so slices are identical with the flag set. *)
+let test_provenance_ignores_opt () =
+  let build () =
+    let nl = N.create () in
+    N.scoped nl "u" (fun () ->
+        let sec = N.input nl ~name:"sec" 8 in
+        let pub = N.input nl ~name:"pub" 8 in
+        let x = N.xor_ nl sec pub in
+        let q = N.reg nl ~name:"q" 8 in
+        N.reg_connect nl q ~d:x ();
+        (nl, sec, pub))
+  in
+  let slice_of ~opt =
+    let nl, sec, pub = build () in
+    let p = Provenance.create () in
+    let sh = Shadow.create ~provenance:p ~opt Policy.Diffift nl in
+    Shadow.set_input_pair sh sec 0xAA 0x55;
+    Shadow.set_input_taint sh sec 0xFF;
+    Shadow.set_input sh pub 0x0F;
+    Shadow.cycle sh;
+    List.map Provenance.render_edge (Provenance.slice p ~sink:"u.q")
+  in
+  let plain = slice_of ~opt:false and opted = slice_of ~opt:true in
+  Alcotest.(check bool) "slices non-empty" true (plain <> []);
+  Alcotest.(check bool) "identical slices with opt requested" true
+    (plain = opted)
+
 (* --- properties ---------------------------------------------------------- *)
 
 (* diffIFT taints are a subset of CellIFT taints on random circuits. *)
@@ -699,7 +871,15 @@ let () =
           Alcotest.test_case "diffift differential" `Quick
             (shadow_engine_differential Policy.Diffift);
           Alcotest.test_case "compiled cycle allocation-free" `Quick
-            test_shadow_compiled_cycle_allocation_free ] );
+            test_shadow_compiled_cycle_allocation_free;
+          Alcotest.test_case "cellift optimized differential" `Quick
+            (shadow_opt_differential Policy.Cellift);
+          Alcotest.test_case "diffift optimized differential" `Quick
+            (shadow_opt_differential Policy.Diffift);
+          Alcotest.test_case "cellift lanes differential" `Quick
+            (shadow_lanes_differential Policy.Cellift);
+          Alcotest.test_case "diffift lanes differential" `Quick
+            (shadow_lanes_differential Policy.Diffift) ] );
       ( "liveness",
         [ Alcotest.test_case "lfb decoy" `Quick test_liveness_lfb;
           Alcotest.test_case "arity check" `Quick test_liveness_arity_check ] );
@@ -724,4 +904,6 @@ let () =
           Alcotest.test_case "memory poke source" `Quick
             test_shadow_armed_mem_source;
           Alcotest.test_case "disarmed zero overhead" `Quick
-            test_disarmed_cycle_unchanged_and_allocation_free ] ) ]
+            test_disarmed_cycle_unchanged_and_allocation_free;
+          Alcotest.test_case "armed shadow ignores opt" `Quick
+            test_provenance_ignores_opt ] ) ]
